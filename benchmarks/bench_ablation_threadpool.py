@@ -1,0 +1,75 @@
+"""Ablation A: SMPE sensitivity to the thread-pool size.
+
+The paper: "ReDe manages threads in a thread pool ... It manages 1000
+threads in the default setting, but the number can be adjusted based on
+underlying hardware capabilities such as the number of CPU cores and the
+IOPS of IO path."  This sweep shows why 1000 is a safe default: runtime
+falls steeply until the pool covers the disk array's concurrency (24
+spindles/node here) and then flattens — extra threads are harmless because
+the pool only bounds *admission*, the disks bound throughput.
+
+Run::
+
+    pytest benchmarks/bench_ablation_threadpool.py --benchmark-only
+"""
+
+import pytest
+
+from repro.bench import SweepTable, format_seconds
+from repro.config import EngineConfig
+from repro.engine import ReDeExecutor
+from repro.queries import TpchWorkload
+
+POOL_SIZES = (1, 4, 16, 64, 256, 1000, 4000)
+SELECTIVITY = 0.05
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return TpchWorkload(scale_factor=0.004, seed=1, num_nodes=8,
+                        block_size=256 * 1024)
+
+
+def run_with_pool(workload, pool_size):
+    low, high = workload.date_range(SELECTIVITY)
+    config = EngineConfig(thread_pool_size=pool_size)
+    executor = ReDeExecutor(workload.make_cluster(), workload.catalog,
+                            config=config, mode="smpe")
+    return executor.execute(workload.q5_job(low, high))
+
+
+def run_sweep(workload):
+    return {pool: run_with_pool(workload, pool) for pool in POOL_SIZES}
+
+
+def test_ablation_threadpool(benchmark, show, save_result, workload):
+    results = benchmark.pedantic(run_sweep, args=(workload,),
+                                 iterations=1, rounds=1)
+
+    table = SweepTable(
+        title="Ablation A: SMPE runtime vs thread-pool size "
+              f"(Q5', selectivity {SELECTIVITY})",
+        columns=["pool size", "elapsed", "peak parallelism", "disk util"])
+    baseline_rows = None
+    for pool, result in results.items():
+        table.add_row(pool, format_seconds(result.metrics.elapsed_seconds),
+                      result.metrics.peak_parallelism,
+                      f"{result.metrics.disk_utilization:.0%}")
+        rows = {r.record for r in result.rows}
+        if baseline_rows is None:
+            baseline_rows = rows
+        assert rows == baseline_rows, "pool size changed the answer"
+    table.add_note("paper default: 1000 threads/node; runtime flattens "
+                   "once the pool covers disk-array concurrency")
+    show(table)
+    save_result("ablation_threadpool", table)
+
+    times = {pool: r.metrics.elapsed_seconds for pool, r in results.items()}
+    # A single thread degenerates to (worse than) partitioned execution.
+    assert times[1] > 8 * times[1000]
+    # Beyond full disk coverage the curve is flat.
+    assert times[4000] == pytest.approx(times[1000], rel=0.15)
+    # Monotone non-increasing (within tolerance) across the sweep.
+    ordered = [times[p] for p in POOL_SIZES]
+    for earlier, later in zip(ordered, ordered[1:]):
+        assert later <= earlier * 1.05

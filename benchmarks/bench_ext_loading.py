@@ -1,0 +1,121 @@
+"""Extension: loading overhead vs number of maintained structures.
+
+The other half of Section V-B: "more structures could cause more
+performance and capacity overheads for loading new data.  Therefore, we
+should care about data processing performance and loading performance to
+decide what structures to build."
+
+This benchmark ingests a fresh batch of claims into lakes maintaining 0-3
+structures and reports write amplification, simulated ingest time, and the
+capacity overhead of the structures — the three quantities a maintenance
+policy must weigh against query speedup (see ``bench_ext_maintenance.py``
+for that side).
+
+Run::
+
+    pytest benchmarks/bench_ext_loading.py --benchmark-only
+"""
+
+import pytest
+
+from repro.bench import SweepTable, format_seconds
+from repro.cluster import Cluster, ClusterSpec
+from repro.core import (
+    AccessMethodDefinition,
+    MaintenanceWorker,
+    StructureCatalog,
+)
+from repro.datagen import ClaimsGenerator
+from repro.datagen.claims import (
+    ClaimInterpreter,
+    claim_id_of,
+    disease_codes_of,
+    medicine_codes_of,
+)
+from repro.storage import DistributedFileSystem
+
+NUM_NODES = 8
+BASE_CLAIMS = 4000
+BATCH_SIZE = 1000
+
+#: name -> multi-valued extractor, in registration order
+STRUCTURES = [
+    ("idx_disease", disease_codes_of),
+    ("idx_medicine", medicine_codes_of),
+    ("idx_hospital", lambda record: _hospital_of(record)),
+]
+
+_INTERP = ClaimInterpreter()
+
+
+def _hospital_of(record):
+    value = _INTERP.field(record, "hospital_id")
+    return None if value is None else [value]
+
+
+@pytest.fixture(scope="module")
+def claims():
+    generator = ClaimsGenerator(num_claims=BASE_CLAIMS + BATCH_SIZE,
+                                seed=31)
+    all_claims = generator.generate()
+    return all_claims[:BASE_CLAIMS], all_claims[BASE_CLAIMS:]
+
+
+def run_sweep(base_claims, batch):
+    measurements = {}
+    for num_structures in range(len(STRUCTURES) + 1):
+        catalog = StructureCatalog(
+            DistributedFileSystem(num_nodes=NUM_NODES))
+        catalog.register_file("claims", base_claims, claim_id_of)
+        for name, key_fn in STRUCTURES[:num_structures]:
+            catalog.register_access_method(AccessMethodDefinition(
+                name=name, base_file="claims", key_fn=key_fn,
+                scope="global"))
+        catalog.build_all()
+
+        worker = MaintenanceWorker(
+            catalog, cluster=Cluster(ClusterSpec(num_nodes=NUM_NODES)))
+        inserted, index_writes, elapsed = worker.load_records("claims",
+                                                              batch)
+        assert inserted == len(batch)
+        structure_bytes = sum(
+            catalog.dfs.get_index(name).total_bytes
+            for name, __ in STRUCTURES[:num_structures])
+        measurements[num_structures] = {
+            "index_writes": index_writes,
+            "amplification": (inserted + index_writes) / inserted,
+            "elapsed": elapsed,
+            "structure_bytes": structure_bytes,
+        }
+    return measurements
+
+
+def test_ext_loading_overhead(benchmark, show, save_result, claims):
+    base_claims, batch = claims
+    results = benchmark.pedantic(run_sweep, args=(base_claims, batch),
+                                 iterations=1, rounds=1)
+
+    table = SweepTable(
+        title=f"Extension: ingest of {BATCH_SIZE} claims vs maintained "
+              "structures (Section V-B loading overhead)",
+        columns=["structures", "index writes", "write amplification",
+                 "ingest time", "structure bytes"])
+    for count, m in results.items():
+        table.add_row(count, m["index_writes"],
+                      round(m["amplification"], 2),
+                      format_seconds(m["elapsed"]), m["structure_bytes"])
+    table.add_note("each maintained structure adds one index write per "
+                   "extracted key per record; lazy (pending) structures "
+                   "cost nothing at load time")
+    show(table)
+    save_result("ext_loading", table)
+
+    # Monotone cost growth with structure count...
+    ordered = [results[i] for i in sorted(results)]
+    for earlier, later in zip(ordered, ordered[1:]):
+        assert later["index_writes"] > earlier["index_writes"]
+        assert later["elapsed"] > earlier["elapsed"]
+        assert later["structure_bytes"] > earlier["structure_bytes"]
+    # ...starting from zero overhead with no structures.
+    assert ordered[0]["index_writes"] == 0
+    assert ordered[0]["amplification"] == 1.0

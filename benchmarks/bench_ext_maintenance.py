@@ -1,0 +1,137 @@
+"""Extension: the structure-maintenance trade-off of Section V-B.
+
+"Having many structures could provide more opportunities to derive more
+efficient structured data processing; however, more structures could cause
+more performance and capacity overheads for loading new data.  Therefore,
+we should care about data processing performance and loading performance
+to decide what structures to build."
+
+This benchmark quantifies that trade-off on the claims lake: it measures
+(a) the simulated background-build cost of each access method, (b) the
+per-query time with and without the structure, and (c) the **break-even
+query count** — after how many queries the build pays for itself.
+
+Run::
+
+    pytest benchmarks/bench_ext_maintenance.py --benchmark-only
+"""
+
+import math
+
+import pytest
+
+from repro.bench import SweepTable, format_seconds
+from repro.cluster import Cluster, ClusterSpec
+from repro.config import balanced_cluster_spec
+from repro.core import MaintenanceWorker
+from repro.baselines import DataLakeEngine
+from repro.datagen import ClaimInterpreter, ClaimsGenerator
+from repro.queries import CASE_STUDY_QUERIES, ClaimsLake
+from repro.storage import BlockStore
+
+NUM_CLAIMS = 10_000
+NUM_NODES = 8
+SEED = 13
+
+
+@pytest.fixture(scope="module")
+def claims():
+    return ClaimsGenerator(num_claims=NUM_CLAIMS, seed=SEED).generate()
+
+
+def run_experiment(claims):
+    # The no-structure alternative: full scan per query, on a scale-model
+    # cluster balanced to the raw claims file.
+    store = BlockStore(num_nodes=NUM_NODES, block_size=256 * 1024)
+    store.load("claims", claims)
+    spec = balanced_cluster_spec(store.file_bytes("claims"),
+                                 num_nodes=NUM_NODES, scan_seconds=0.5)
+
+    measurements = {}
+    for query_id, (label, diseases, medicines) in \
+            CASE_STUDY_QUERIES.items():
+        disease_set, medicine_set = set(diseases), set(medicines)
+
+        # Without structures: every query scans everything.
+        lake_engine = DataLakeEngine(store, ClaimInterpreter(),
+                                     cluster=Cluster(spec))
+        scan_result = lake_engine.query(
+            "claims",
+            lambda v: (any(c in disease_set
+                           for c in v.get("diseases", []))
+                       and any(c in medicine_set
+                               for c in v.get("medicines", []))))
+
+        # With structures: pay the build once (background, simulated),
+        # then each query is an index probe.  A fresh lake per query id
+        # keeps build costs attributable.
+        lake = ClaimsLake.__new__(ClaimsLake)
+        _init_lazy_lake(lake, claims, spec)
+        worker = MaintenanceWorker(lake.catalog, cluster=Cluster(spec))
+        built, build_seconds = worker.run_pending()
+        assert set(built) == {"idx_claims_disease", "idx_claims_medicine"}
+
+        __, indexed_result = lake.query_expenses(diseases, medicines)
+        indexed_seconds = indexed_result.metrics.elapsed_seconds
+        saved_per_query = scan_result.elapsed_seconds - indexed_seconds
+        breakeven = (math.ceil(build_seconds / saved_per_query)
+                     if saved_per_query > 0 else None)
+        measurements[query_id] = {
+            "label": label,
+            "scan_seconds": scan_result.elapsed_seconds,
+            "indexed_seconds": indexed_seconds,
+            "build_seconds": build_seconds,
+            "breakeven": breakeven,
+        }
+    return measurements
+
+
+def _init_lazy_lake(lake, claims, spec):
+    """A ClaimsLake whose indexes stay *pending* (lazy), executing SMPE."""
+    from repro.core import AccessMethodDefinition, StructureCatalog
+    from repro.datagen.claims import (
+        claim_id_of,
+        disease_codes_of,
+        medicine_codes_of,
+    )
+    from repro.engine import ReDeExecutor
+    from repro.storage import DistributedFileSystem
+
+    lake.dfs = DistributedFileSystem(num_nodes=NUM_NODES)
+    lake.catalog = StructureCatalog(lake.dfs)
+    lake.executor = ReDeExecutor(Cluster(spec), lake.catalog, mode="smpe")
+    lake.catalog.register_file("claims", claims, claim_id_of)
+    lake.catalog.register_access_method(AccessMethodDefinition(
+        name="idx_claims_disease", base_file="claims",
+        key_fn=disease_codes_of, scope="global"))
+    lake.catalog.register_access_method(AccessMethodDefinition(
+        name="idx_claims_medicine", base_file="claims",
+        key_fn=medicine_codes_of, scope="global"))
+
+
+def test_ext_maintenance_tradeoff(benchmark, show, save_result, claims):
+    results = benchmark.pedantic(run_experiment, args=(claims,),
+                                 iterations=1, rounds=1)
+
+    table = SweepTable(
+        title="Extension: structure build cost vs query benefit "
+              f"({NUM_CLAIMS} claims, Section V-B trade-off)",
+        columns=["query", "no structures (scan)", "with structures",
+                 "one-time build", "break-even (queries)"])
+    for query_id, m in results.items():
+        table.add_row(query_id, format_seconds(m["scan_seconds"]),
+                      format_seconds(m["indexed_seconds"]),
+                      format_seconds(m["build_seconds"]),
+                      m["breakeven"])
+    table.add_note("break-even = build_cost / per-query saving; beyond it "
+                   "every further query is pure profit — the quantity a "
+                   "maintenance policy should weigh")
+    show(table)
+    save_result("ext_maintenance", table)
+
+    for query_id, m in results.items():
+        assert m["indexed_seconds"] < m["scan_seconds"], query_id
+        assert m["build_seconds"] > 0
+        assert m["breakeven"] is not None and m["breakeven"] >= 1
+        # The build amortizes within a modest number of queries.
+        assert m["breakeven"] < 100, query_id

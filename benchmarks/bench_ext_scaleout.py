@@ -1,0 +1,107 @@
+"""Extension: scale-out behaviour — the "scalable" in SMPE.
+
+SMPE stands for *scalable* massively parallel execution; the paper runs at
+a fixed 128 nodes.  This benchmark sweeps cluster size with the dataset
+held fixed (strong scaling) and reports each engine's speedup over its
+4-node configuration.  SMPE should scale near-linearly while the total
+work (record accesses) stays constant: more nodes means more disk arrays
+for the same dynamically-decomposed task pool to spread across.
+
+Run::
+
+    pytest benchmarks/bench_ext_scaleout.py --benchmark-only
+"""
+
+import pytest
+
+from repro.bench import SweepTable, format_factor, format_seconds
+from repro.cluster import Cluster
+from repro.config import laptop_cluster_spec
+from repro.core import (
+    AccessMethodDefinition,
+    ChainQuery,
+    MappingInterpreter,
+    StructureCatalog,
+)
+from repro.datagen import TpchGenerator
+from repro.engine import ReDeExecutor
+from repro.storage import DistributedFileSystem
+
+NODE_COUNTS = (4, 8, 16, 32)
+SELECTIVITY = 0.2
+
+INTERP = MappingInterpreter()
+
+
+def build_catalog(num_nodes, generator, orders, lineitems):
+    dfs = DistributedFileSystem(num_nodes=num_nodes)
+    catalog = StructureCatalog(dfs)
+    catalog.register_file("orders", orders, lambda r: r["o_orderkey"])
+    catalog.register_file("lineitem", lineitems,
+                          lambda r: r["l_orderkey"])
+    catalog.register_access_method(AccessMethodDefinition(
+        name="idx_date", base_file="orders", interpreter=INTERP,
+        key_field="o_orderdate", scope="local"))
+    catalog.build_all()
+    return catalog
+
+
+def probe_join_job(generator):
+    low, high = generator.date_range_for_selectivity(SELECTIVITY)
+    return (ChainQuery("orders_lineitems", interpreter=INTERP)
+            .from_index_range("idx_date", low, high, base="orders")
+            .join("lineitem", key="o_orderkey", carry=["o_orderkey"])
+            .build())
+
+
+def run_sweep():
+    generator = TpchGenerator(scale_factor=0.004, seed=23)
+    orders, lineitems = generator.orders_and_lineitems()
+    job_factory = lambda: probe_join_job(generator)
+    measurements = {}
+    for num_nodes in NODE_COUNTS:
+        catalog = build_catalog(num_nodes, generator, orders, lineitems)
+        row = {}
+        for mode in ("smpe", "partitioned"):
+            cluster = Cluster(laptop_cluster_spec(num_nodes))
+            result = ReDeExecutor(cluster, catalog, mode=mode).execute(
+                job_factory())
+            row[mode] = result.metrics.elapsed_seconds
+            row[f"{mode}_accesses"] = result.metrics.record_accesses
+        measurements[num_nodes] = row
+    return measurements
+
+
+def test_ext_scaleout(benchmark, show, save_result):
+    results = benchmark.pedantic(run_sweep, iterations=1, rounds=1)
+
+    base = results[NODE_COUNTS[0]]
+    table = SweepTable(
+        title="Extension: strong scaling of Q5'-style join "
+              f"(fixed dataset, selectivity {SELECTIVITY})",
+        columns=["nodes", "ReDe w/ SMPE", "speedup", "ReDe w/o SMPE",
+                 "speedup ", "accesses"])
+    for num_nodes, row in results.items():
+        table.add_row(num_nodes,
+                      format_seconds(row["smpe"]),
+                      format_factor(base["smpe"] / row["smpe"]),
+                      format_seconds(row["partitioned"]),
+                      format_factor(base["partitioned"]
+                                    / row["partitioned"]),
+                      row["smpe_accesses"])
+    table.add_note("work (record accesses) is constant across cluster "
+                   "sizes; speedups are relative to 4 nodes")
+    show(table)
+    save_result("ext_scaleout", table)
+
+    # Constant work regardless of cluster size.
+    accesses = {row["smpe_accesses"] for row in results.values()}
+    assert len(accesses) == 1
+    # SMPE strong-scales: 8x the nodes buys >= 4x the speed.
+    assert results[4]["smpe"] / results[32]["smpe"] >= 4.0
+    # Monotone improvement for SMPE at every step.
+    times = [results[n]["smpe"] for n in NODE_COUNTS]
+    assert all(b < a for a, b in zip(times, times[1:]))
+    # And SMPE stays ahead of partitioned execution everywhere.
+    for row in results.values():
+        assert row["smpe"] < row["partitioned"]

@@ -1,0 +1,131 @@
+"""Micro-benchmarks: wall-clock throughput of the storage substrate.
+
+Unlike the figure benchmarks (which measure *simulated* time), these
+measure the real Python-level performance of the data structures the whole
+system stands on: B+tree operations, stable-hash partitioning, heap-file
+access, the discrete-event kernel, and the dataset generators.
+
+Run::
+
+    pytest benchmarks/bench_micro_storage.py --benchmark-only
+"""
+
+import pytest
+
+from repro.cluster.simulation import Simulator
+from repro.core import Record
+from repro.datagen import ClaimsGenerator, TpchGenerator
+from repro.datagen.rng import make_rng
+from repro.storage import BPlusTree, HashPartitioner, HeapFile
+
+N = 10_000
+
+
+@pytest.fixture(scope="module")
+def shuffled_keys():
+    rng = make_rng(1, "micro")
+    keys = list(range(N))
+    rng.shuffle(keys)
+    return keys
+
+
+@pytest.fixture(scope="module")
+def loaded_tree(shuffled_keys):
+    tree = BPlusTree(order=64)
+    for key in shuffled_keys:
+        tree.insert(key, key)
+    return tree
+
+
+def test_bench_btree_insert(benchmark, shuffled_keys):
+    def insert_all():
+        tree = BPlusTree(order=64)
+        for key in shuffled_keys:
+            tree.insert(key, key)
+        return tree
+
+    tree = benchmark(insert_all)
+    assert len(tree) == N
+
+
+def test_bench_btree_search(benchmark, loaded_tree, shuffled_keys):
+    probe_keys = shuffled_keys[:1000]
+
+    def search_all():
+        found = 0
+        for key in probe_keys:
+            found += len(loaded_tree.search(key))
+        return found
+
+    assert benchmark(search_all) == 1000
+
+
+def test_bench_btree_range(benchmark, loaded_tree):
+    def range_scan():
+        return sum(1 for __ in loaded_tree.range(N // 4, 3 * N // 4))
+
+    assert benchmark(range_scan) == N // 2 + 1
+
+
+def test_bench_btree_bulk_load(benchmark):
+    pairs = [(i, i) for i in range(N)]
+
+    def bulk():
+        return BPlusTree.bulk_load(pairs, order=64)
+
+    tree = benchmark(bulk)
+    assert len(tree) == N
+
+
+def test_bench_hash_partitioner(benchmark):
+    partitioner = HashPartitioner(128)
+
+    def partition_all():
+        return sum(partitioner.partition(key) for key in range(N))
+
+    assert benchmark(partition_all) > 0
+
+
+def test_bench_heapfile_lookup(benchmark):
+    heap = HeapFile("bench")
+    for i in range(N):
+        heap.append(Record({"k": i}), key=i)
+
+    def lookup_all():
+        return sum(len(heap.lookup(key)) for key in range(0, N, 10))
+
+    assert benchmark(lookup_all) == N // 10
+
+
+def test_bench_simulator_events(benchmark):
+    """Event-kernel throughput: processes ping-ponging timeouts."""
+
+    def run_sim():
+        sim = Simulator()
+
+        def worker():
+            for __ in range(1000):
+                yield sim.timeout(1.0)
+
+        for __ in range(10):
+            sim.process(worker())
+        sim.run()
+        return sim.events_processed
+
+    assert benchmark(run_sim) >= 10_000
+
+
+def test_bench_tpch_generation(benchmark):
+    def generate():
+        return TpchGenerator(scale_factor=0.001, seed=1).generate_all()
+
+    tables = benchmark(generate)
+    assert len(tables["orders"]) == 1500
+
+
+def test_bench_claims_generation(benchmark):
+    def generate():
+        return ClaimsGenerator(num_claims=2000, seed=1).generate()
+
+    claims = benchmark(generate)
+    assert len(claims) == 2000

@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures: uncaptured table printing and result files."""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def show(capsys):
+    """Print straight to the terminal, bypassing pytest capture.
+
+    The figure tables must be visible in ``pytest benchmarks/
+    --benchmark-only`` output without ``-s``.
+    """
+
+    def _show(renderable) -> None:
+        text = (renderable.render()
+                if hasattr(renderable, "render") else str(renderable))
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show
+
+
+@pytest.fixture
+def save_result():
+    """Persist a rendered table under benchmarks/results/<name>.txt."""
+
+    def _save(name: str, renderable) -> pathlib.Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = (renderable.render()
+                if hasattr(renderable, "render") else str(renderable))
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _save

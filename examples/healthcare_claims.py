@@ -1,0 +1,66 @@
+"""The Section IV case study: Japanese health-insurance claims analytics.
+
+Generates synthetic claims in the standardized nested text format (IR/RE/
+HO/SY/SI/IY sub-records, Fig. 8), stores them **raw** in a LakeHarbor lake
+with post hoc access methods over the nested disease/medicine codes, and
+answers the paper's three health-policy questions —
+
+* Q1: expenses for care prescribing antihypertensives for hypertension,
+* Q2: ... antimicrobials for acne,
+* Q3: ... GLP-1 receptor agonists for diabetes —
+
+on both the lake and a normalized data warehouse, printing the Figure
+9-style record-access comparison.
+
+Run::
+
+    python examples/healthcare_claims.py
+"""
+
+from repro import ClaimsGenerator
+from repro.baselines import ClaimsWarehouse
+from repro.queries import CASE_STUDY_QUERIES, ClaimsLake
+
+NUM_CLAIMS = 10_000
+NUM_NODES = 4
+
+
+def main() -> None:
+    claims = ClaimsGenerator(num_claims=NUM_CLAIMS, seed=2024).generate()
+    print(f"generated {NUM_CLAIMS} claims in the raw nested format; "
+          "one example:\n")
+    for line in claims[0].data.splitlines():
+        print(f"    {line}")
+    print()
+
+    lake = ClaimsLake(claims, num_nodes=NUM_NODES)
+    print("lake structures:",
+          ", ".join(row["name"] for row in lake.catalog.inventory()))
+    warehouse = ClaimsWarehouse(claims, num_nodes=NUM_NODES)
+    print("warehouse tables:",
+          ", ".join(n for n in warehouse.dfs.names()
+                    if n.startswith("dw_") and "idx" not in n))
+    print()
+
+    header = (f"{'query':5s} {'workload':38s} {'expenses':>12s} "
+              f"{'DWH acc.':>9s} {'ReDe acc.':>9s} {'normalized':>10s}")
+    print(header)
+    print("-" * len(header))
+    for query_id, (label, diseases, medicines) in \
+            CASE_STUDY_QUERIES.items():
+        lake_total, lake_result = lake.query_expenses(diseases, medicines)
+        dw_total, dw_result = warehouse.query_expenses(diseases, medicines)
+        assert lake_total == dw_total, "engines disagree"
+        dw_accesses = dw_result.metrics.record_accesses
+        rede_accesses = lake_result.metrics.record_accesses
+        print(f"{query_id:5s} {label:38s} {lake_total:12.0f} "
+              f"{dw_accesses:9d} {rede_accesses:9d} "
+              f"{rede_accesses / dw_accesses:10.3f}")
+
+    print("\nas in Figure 9: identical answers, but ReDe reads the nested")
+    print("claim once where normalization forces index-join chains across")
+    print("dw_diseases -> dw_medicines -> dw_claims.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""The optimizer the paper says ReDe lacks, choosing plans per query.
+
+Section III-E: "If ReDe implements [a query optimizer], ReDe could choose
+data processing plans appropriately based on query selectivities; i.e.,
+ReDe would perform comparably with Impala in the high selectivity range."
+
+This example runs TPC-H Q5' across selectivities through
+:class:`repro.engine.HybridExecutor`: the cost model asks the structures
+themselves for the predicate's cardinality (first-class structures double
+as statistics), estimates both plans, and dispatches to the indexed SMPE
+plan or the scan/hash-join plan accordingly.
+
+Run::
+
+    python examples/hybrid_optimizer.py
+"""
+
+from repro.engine import HybridExecutor
+from repro.queries import TpchWorkload
+
+SELECTIVITIES = (0.001, 0.01, 0.05, 0.2, 0.4)
+SCAN_SECONDS = 0.25
+
+
+def main() -> None:
+    workload = TpchWorkload(scale_factor=0.004, seed=1, num_nodes=8,
+                            block_size=256 * 1024)
+    cluster_spec = workload.make_cluster(scan_seconds=SCAN_SECONDS).spec
+    hybrid = HybridExecutor(workload.catalog, workload.blockstore,
+                            cluster_spec)
+
+    header = (f"{'selectivity':>11s} {'est. matches':>12s} "
+              f"{'est. ReDe':>10s} {'est. scan':>10s} {'chosen':>7s} "
+              f"{'actual':>9s}")
+    print("TPC-H Q5' through the hybrid optimizer "
+          "(estimates from structure statistics):\n")
+    print(header)
+    print("-" * len(header))
+    for selectivity in SELECTIVITIES:
+        low, high = workload.date_range(selectivity)
+        job = workload.q5_job(low, high)
+        plan = workload.q5_scan_plan(low, high)
+        result = hybrid.execute(job, plan)
+        choice = result.choice
+        print(f"{selectivity:>11.3f} {choice.initial_cardinality:>12.0f} "
+              f"{choice.rede_estimate * 1e3:>8.1f}ms "
+              f"{choice.scan_estimate * 1e3:>8.1f}ms "
+              f"{choice.chosen:>7s} "
+              f"{result.elapsed_seconds * 1e3:>7.1f}ms")
+
+    print("\nlow selectivity -> indexed Reference-Dereference plan;")
+    print("high selectivity -> scan plan, so ReDe now 'performs "
+          "comparably with Impala'\ninstead of losing past the crossover.")
+
+
+if __name__ == "__main__":
+    main()

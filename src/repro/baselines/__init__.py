@@ -1,0 +1,25 @@
+"""Baseline systems: the Impala-like scan engine (grace hash joins, static
+parallelism), the normalized claims warehouse, and the plain data-lake
+full-scan engine."""
+
+from repro.baselines.datalake import DataLakeEngine, DataLakeResult
+from repro.baselines.hashjoin import HashJoinStats, join_rows
+from repro.baselines.scan_engine import (
+    HashJoinNode,
+    ScanEngine,
+    ScanNode,
+    ScanResult,
+)
+from repro.baselines.warehouse import ClaimsWarehouse
+
+__all__ = [
+    "DataLakeEngine",
+    "DataLakeResult",
+    "HashJoinStats",
+    "join_rows",
+    "HashJoinNode",
+    "ScanEngine",
+    "ScanNode",
+    "ScanResult",
+    "ClaimsWarehouse",
+]

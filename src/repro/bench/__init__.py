@@ -1,0 +1,11 @@
+"""Benchmark support: sweep tables and formatting helpers."""
+
+from repro.bench.harness import (
+    SweepTable,
+    format_factor,
+    format_seconds,
+    geometric_mean,
+)
+
+__all__ = ["SweepTable", "format_factor", "format_seconds",
+           "geometric_mean"]

@@ -1,0 +1,169 @@
+"""Command-line interface: quick demos of the reproduction.
+
+Usage::
+
+    python -m repro demo                 # 60-second LakeHarbor walkthrough
+    python -m repro fig7 [--scale 0.002] # regenerate Figure 7's series
+    python -m repro fig9 [--claims 5000] # regenerate Figure 9's comparison
+    python -m repro inventory            # structures of a demo lake
+
+The CLI uses reduced default scales so every command finishes in seconds;
+the full benchmark harness lives in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.baselines import ClaimsWarehouse, ScanEngine
+from repro.bench import SweepTable, format_factor, format_seconds
+from repro.datagen import ClaimsGenerator
+from repro.engine import ReDeExecutor
+from repro.queries import (
+    CASE_STUDY_QUERIES,
+    ClaimsLake,
+    TpchWorkload,
+    canonical_q5_rows_rede,
+    canonical_q5_rows_scan,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of LakeHarbor/ReDe (ICDE 2024)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("demo", help="run the quickstart walkthrough")
+
+    fig7 = commands.add_parser("fig7",
+                               help="regenerate the Figure 7 series")
+    fig7.add_argument("--scale", type=float, default=0.002,
+                      help="TPC-H scale factor (default 0.002)")
+    fig7.add_argument("--nodes", type=int, default=8)
+
+    fig9 = commands.add_parser("fig9",
+                               help="regenerate the Figure 9 comparison")
+    fig9.add_argument("--claims", type=int, default=5000,
+                      help="number of synthetic claims (default 5000)")
+
+    commands.add_parser("inventory",
+                        help="show a demo lake's structure catalog")
+    return parser
+
+
+def _run_demo_inline() -> int:
+    """The quickstart flow, inlined so the CLI works without examples/."""
+    from repro.core import (
+        AccessMethodDefinition,
+        FileLookupDereferencer,
+        IndexEntryReferencer,
+        IndexRangeDereferencer,
+        JobBuilder,
+        MappingInterpreter,
+        PointerRange,
+        Record,
+        StructureCatalog,
+    )
+    from repro.cluster import Cluster
+    from repro.config import laptop_cluster_spec
+    from repro.storage import DistributedFileSystem
+
+    dfs = DistributedFileSystem(num_nodes=4)
+    catalog = StructureCatalog(dfs)
+    events = [Record({"event_id": i, "severity": i % 100})
+              for i in range(5000)]
+    catalog.register_file("events", events, lambda r: r["event_id"])
+    catalog.register_access_method(AccessMethodDefinition(
+        name="idx_severity", base_file="events",
+        interpreter=MappingInterpreter(), key_field="severity",
+        scope="global"))
+    job = (JobBuilder("severe")
+           .dereference(IndexRangeDereferencer("idx_severity"))
+           .reference(IndexEntryReferencer("events"))
+           .dereference(FileLookupDereferencer("events"))
+           .input(PointerRange("idx_severity", 98, 99))
+           .build())
+    executor = ReDeExecutor(Cluster(laptop_cluster_spec(4)), catalog,
+                            mode="smpe")
+    result = executor.execute(job)
+    print(f"lazily built {catalog.build_log}; fetched {len(result.rows)} "
+          f"of 5000 events in {result.metrics.elapsed_seconds * 1e3:.1f} "
+          "simulated ms "
+          f"(peak {result.metrics.peak_parallelism} threads)")
+    return 0
+
+
+def cmd_fig7(scale: float, nodes: int) -> int:
+    workload = TpchWorkload(scale_factor=scale, seed=1, num_nodes=nodes,
+                            block_size=256 * 1024)
+    table = SweepTable(
+        title=f"Figure 7 (SF={scale}, {nodes} nodes)",
+        columns=["selectivity", "Impala-like", "ReDe w/o SMPE",
+                 "ReDe w/ SMPE", "SMPE vs Impala"])
+    for selectivity in (0.001, 0.01, 0.05, 0.2, 0.4):
+        low, high = workload.date_range(selectivity)
+        job = workload.q5_job(low, high)
+        plan = workload.q5_scan_plan(low, high)
+        scan = ScanEngine(workload.make_cluster(scan_seconds=0.25),
+                          workload.blockstore).execute(plan)
+        smpe = ReDeExecutor(workload.make_cluster(scan_seconds=0.25),
+                            workload.catalog, mode="smpe").execute(job)
+        part = ReDeExecutor(workload.make_cluster(scan_seconds=0.25),
+                            workload.catalog,
+                            mode="partitioned").execute(job)
+        assert canonical_q5_rows_rede(smpe) == canonical_q5_rows_scan(scan)
+        table.add_row(selectivity,
+                      format_seconds(scan.metrics.elapsed_seconds),
+                      format_seconds(part.metrics.elapsed_seconds),
+                      format_seconds(smpe.metrics.elapsed_seconds),
+                      format_factor(scan.metrics.elapsed_seconds
+                                    / smpe.metrics.elapsed_seconds))
+    print(table.render())
+    return 0
+
+
+def cmd_fig9(num_claims: int) -> int:
+    claims = ClaimsGenerator(num_claims=num_claims, seed=9).generate()
+    lake = ClaimsLake(claims, num_nodes=4)
+    warehouse = ClaimsWarehouse(claims, num_nodes=4)
+    table = SweepTable(
+        title=f"Figure 9 ({num_claims} claims): record accesses, "
+              "normalized to the warehouse",
+        columns=["query", "DWH", "ReDe", "normalized"])
+    for query_id, (__, diseases, medicines) in CASE_STUDY_QUERIES.items():
+        lake_total, lake_result = lake.query_expenses(diseases, medicines)
+        dw_total, dw_result = warehouse.query_expenses(diseases, medicines)
+        assert lake_total == dw_total
+        dw = dw_result.metrics.record_accesses
+        rede = lake_result.metrics.record_accesses
+        table.add_row(query_id, dw, rede, round(rede / dw, 3))
+    print(table.render())
+    return 0
+
+
+def cmd_inventory() -> int:
+    claims = ClaimsGenerator(num_claims=500, seed=1).generate()
+    lake = ClaimsLake(claims, num_nodes=4)
+    print(f"{'name':24s} {'kind':14s} {'base':10s} state")
+    print("-" * 60)
+    for row in lake.catalog.inventory():
+        print(f"{row['name']:24s} {row['kind']:14s} {row['base']:10s} "
+              f"{row['state']}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _run_demo_inline()
+    if args.command == "fig7":
+        return cmd_fig7(args.scale, args.nodes)
+    if args.command == "fig9":
+        return cmd_fig9(args.claims)
+    if args.command == "inventory":
+        return cmd_inventory()
+    return 2  # pragma: no cover - argparse enforces the choices

@@ -1,0 +1,33 @@
+"""Simulated hardware substrate: event kernel, disks, network, nodes, cluster."""
+
+from repro.cluster.cluster import Cluster, ClusterSpec
+from repro.cluster.disk import Disk, DiskSpec
+from repro.cluster.network import Network, NetworkSpec
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.simulation import (
+    Event,
+    Process,
+    Resource,
+    Simulator,
+    Store,
+    Timeout,
+    all_of,
+)
+
+__all__ = [
+    "Cluster",
+    "ClusterSpec",
+    "Disk",
+    "DiskSpec",
+    "Network",
+    "NetworkSpec",
+    "Node",
+    "NodeSpec",
+    "Event",
+    "Process",
+    "Resource",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "all_of",
+]

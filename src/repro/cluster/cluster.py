@@ -1,0 +1,88 @@
+"""Cluster assembly: nodes plus the interconnect, with fluent helpers.
+
+A :class:`Cluster` is the execution substrate handed to every engine.  It is
+deliberately engine-agnostic: engines express their work as simulated
+processes that charge node CPU, node disk, and network resources, and the
+resulting completion time is emergent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from repro.cluster.network import Network, NetworkSpec
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.simulation import Event, Simulator
+from repro.errors import SimulationError
+
+__all__ = ["ClusterSpec", "Cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static description of a whole cluster."""
+
+    num_nodes: int = 8
+    node: NodeSpec = field(default_factory=NodeSpec)
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise SimulationError("cluster needs at least one node")
+
+
+class Cluster:
+    """A simulated cluster: ``num_nodes`` nodes behind one switch."""
+
+    def __init__(self, spec: Optional[ClusterSpec] = None) -> None:
+        self.spec = spec or ClusterSpec()
+        self.sim = Simulator()
+        self.nodes = [
+            Node(self.sim, self.spec.node, node_id=i)
+            for i in range(self.spec.num_nodes)
+        ]
+        self.network = Network(self.sim, self.spec.network, self.spec.num_nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.spec.num_nodes
+
+    def node(self, node_id: int) -> Node:
+        if not 0 <= node_id < self.num_nodes:
+            raise SimulationError(f"no such node: {node_id}")
+        return self.nodes[node_id]
+
+    # -- convenience wrappers over the simulator -------------------------
+
+    def launch(self, generator: Generator, name: str = "") -> Event:
+        """Start a simulated process and return its completion event."""
+        return self.sim.process(generator, name=name)
+
+    def run_until(self, event: Event, max_time: Optional[float] = None) -> Any:
+        """Drive the simulation until ``event`` fires; returns its value."""
+        return self.sim.run(until=event, max_time=max_time)
+
+    def run_job(self, generator: Generator, name: str = "",
+                max_time: Optional[float] = None) -> tuple[Any, float]:
+        """Run one job process to completion on a fresh time window.
+
+        Returns ``(result, elapsed_seconds)`` where elapsed is measured in
+        simulated time from launch to completion.
+        """
+        start = self.sim.now
+        done = self.launch(generator, name=name)
+        result = self.run_until(done, max_time=max_time)
+        return result, self.sim.now - start
+
+    def remote_fetch(self, src: int, dst: int, request_bytes: int,
+                     response_bytes: int) -> Generator:
+        """Process helper: round-trip fetch between two nodes (free if local)."""
+        yield from self.network.request_response(src, dst, request_bytes,
+                                                 response_bytes)
+
+    def total_random_reads(self) -> int:
+        return sum(node.disk.random_reads for node in self.nodes)
+
+    def total_bytes_scanned(self) -> int:
+        return sum(node.disk.bytes_scanned for node in self.nodes)

@@ -1,0 +1,80 @@
+"""Network model: per-node NICs connected through a non-blocking switch.
+
+The paper's cluster uses a 10 Gbps switch.  We model each NIC as a FIFO
+transmission server: a message holds the sender's NIC for its transmission
+time (``bytes / bandwidth``) and then pays propagation latency without
+holding anything, which lets many small messages pipeline — the regime
+ReDe's remote dereferences live in — while bulk shuffles (the scan engine's
+grace hash join) are properly bandwidth-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.cluster.simulation import Resource, Simulator
+from repro.errors import SimulationError
+
+__all__ = ["NetworkSpec", "Network"]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Static description of the cluster interconnect.
+
+    Attributes:
+        bandwidth: per-NIC bandwidth in bytes/second (10 Gbps = 1.25e9 B/s).
+        latency: one-way propagation + switching latency in seconds.
+        channels: concurrent DMA/transmit channels per NIC.  Values > 1 let a
+            NIC overlap several in-flight messages, as modern NICs do.
+    """
+
+    bandwidth: float = 1.25e9
+    latency: float = 50e-6
+    channels: int = 8
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0 or self.latency < 0 or self.channels < 1:
+            raise SimulationError("invalid network spec")
+
+
+class Network:
+    """The cluster fabric; owns one transmit resource per node."""
+
+    def __init__(self, sim: Simulator, spec: NetworkSpec, num_nodes: int) -> None:
+        if num_nodes < 1:
+            raise SimulationError("network needs at least one node")
+        self.sim = sim
+        self.spec = spec
+        self._nics = [
+            Resource(sim, spec.channels, name=f"nic[{i}]") for i in range(num_nodes)
+        ]
+        self.messages = 0
+        self.bytes_sent = 0
+
+    def transfer(self, src: int, dst: int, nbytes: int) -> Generator:
+        """Process helper: move ``nbytes`` from node ``src`` to node ``dst``.
+
+        Local transfers (``src == dst``) are free — the engines use this
+        helper unconditionally so locality emerges from partition placement.
+        """
+        if src == dst:
+            return
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size: {nbytes}")
+        self.messages += 1
+        self.bytes_sent += nbytes
+        nic = self._nics[src]
+        yield nic.request()
+        try:
+            yield self.sim.timeout(nbytes / self.spec.bandwidth)
+        finally:
+            nic.release()
+        yield self.sim.timeout(self.spec.latency)
+
+    def request_response(self, src: int, dst: int, request_bytes: int,
+                         response_bytes: int) -> Generator:
+        """Process helper: a round trip (e.g., remote record fetch)."""
+        yield from self.transfer(src, dst, request_bytes)
+        yield from self.transfer(dst, src, response_bytes)

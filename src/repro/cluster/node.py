@@ -1,0 +1,68 @@
+"""Compute-node model: CPU cores plus a data-disk array.
+
+A node bundles the two resources the engines contend for locally.  CPU work
+is charged through :meth:`Node.compute`, which holds one core; IO goes
+through the node's :class:`~repro.cluster.disk.Disk`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.cluster.disk import Disk, DiskSpec
+from repro.cluster.simulation import Resource, Simulator
+from repro.errors import SimulationError
+
+__all__ = ["NodeSpec", "Node"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of one compute node.
+
+    Attributes:
+        cores: CPU cores (static parallelism bound for scan engines).
+        tuple_cpu_time: seconds of CPU to process one tuple through one
+            operator (hash, probe, predicate evaluation, interpretation).
+        disk: the node's data-disk array specification.
+    """
+
+    cores: int = 16
+    tuple_cpu_time: float = 100e-9
+    disk: DiskSpec = DiskSpec()
+
+    def __post_init__(self) -> None:
+        if self.cores < 1 or self.tuple_cpu_time < 0:
+            raise SimulationError("invalid node spec")
+
+
+class Node:
+    """A simulated compute node."""
+
+    def __init__(self, sim: Simulator, spec: NodeSpec, node_id: int) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.node_id = node_id
+        self.cores = Resource(sim, spec.cores, name=f"node{node_id}.cores")
+        self.disk = Disk(sim, spec.disk, name=f"node{node_id}.disk")
+        self.cpu_seconds = 0.0
+
+    def compute(self, seconds: float) -> Generator:
+        """Process helper: hold one core for ``seconds`` of CPU work."""
+        if seconds < 0:
+            raise SimulationError(f"negative compute time: {seconds}")
+        self.cpu_seconds += seconds
+        yield self.cores.request()
+        try:
+            yield self.sim.timeout(seconds)
+        finally:
+            self.cores.release()
+
+    def process_tuples(self, count: int) -> Generator:
+        """Process helper: charge CPU for pushing ``count`` tuples through
+        one operator."""
+        yield from self.compute(count * self.spec.tuple_cpu_time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node(id={self.node_id}, cores={self.spec.cores})"

@@ -1,0 +1,120 @@
+"""Hardware and engine presets.
+
+Two cluster presets are provided:
+
+* :func:`paper_cluster_spec` — the ICDE 2024 testbed: 128 nodes, two 8-core
+  Xeon E5-2680 per node (16 cores), twenty-four 10K-RPM SAS HDDs in RAID-6,
+  10 GbE interconnect.
+* :func:`laptop_cluster_spec` — a scaled-down default (8 nodes of the same
+  per-node hardware) that keeps benchmark wall-clock time small while
+  preserving the per-node resource ratios the figure shapes depend on.
+
+Engine defaults mirror the paper: a 1000-thread pool per node for SMPE, with
+referencers executed inline (no thread switch) by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import ClusterSpec
+from repro.cluster.disk import DiskSpec
+from repro.cluster.network import NetworkSpec
+from repro.cluster.node import NodeSpec
+
+__all__ = [
+    "paper_cluster_spec",
+    "laptop_cluster_spec",
+    "balanced_cluster_spec",
+    "EngineConfig",
+    "DEFAULT_ENGINE_CONFIG",
+]
+
+#: 10K RPM SAS HDD: ~3 ms rotational + ~2 ms seek per random page read.
+_PAPER_DISK = DiskSpec(
+    spindles=24,
+    random_service_time=0.005,
+    seq_bandwidth=1.2e9,
+    page_size=8192,
+)
+
+_PAPER_NODE = NodeSpec(cores=16, tuple_cpu_time=100e-9, disk=_PAPER_DISK)
+
+_PAPER_NETWORK = NetworkSpec(bandwidth=1.25e9, latency=50e-6, channels=8)
+
+
+def paper_cluster_spec() -> ClusterSpec:
+    """The 128-node testbed from Section III-E of the paper."""
+    return ClusterSpec(num_nodes=128, node=_PAPER_NODE, network=_PAPER_NETWORK)
+
+
+def laptop_cluster_spec(num_nodes: int = 8) -> ClusterSpec:
+    """A scaled-down cluster with the paper's per-node hardware."""
+    return ClusterSpec(num_nodes=num_nodes, node=_PAPER_NODE,
+                       network=_PAPER_NETWORK)
+
+
+def balanced_cluster_spec(total_bytes: int, num_nodes: int = 8,
+                          scan_seconds: float = 0.5) -> ClusterSpec:
+    """A *scale-model* cluster for the Figure 7 regime.
+
+    The paper's experiment runs TPC-H SF=128K (128 TB over 128 nodes): a
+    full scan takes on the order of **minutes per node**, while a random
+    record access costs ~5 ms — it is that ratio, scan time to random-read
+    service time, that determines who wins at which selectivity.  A
+    laptop-scale dataset at the paper's 1.2 GB/s would scan in
+    milliseconds, compressing the whole figure into the latency floor.
+
+    This preset keeps the paper's random-IO model (24 spindles x 5 ms)
+    untouched and chooses the sequential bandwidth so that scanning the
+    *actual generated dataset* takes ``scan_seconds`` per node — placing
+    the scaled experiment at the equivalent point of the paper's regime.
+    The substitution is recorded in DESIGN.md.
+
+    Args:
+        total_bytes: size of the generated dataset (e.g. the block store's
+            total bytes).
+        num_nodes: cluster size.
+        scan_seconds: per-node full-scan time to model.
+    """
+    bytes_per_node = max(1.0, total_bytes / num_nodes)
+    disk = DiskSpec(
+        spindles=_PAPER_DISK.spindles,
+        random_service_time=_PAPER_DISK.random_service_time,
+        seq_bandwidth=bytes_per_node / scan_seconds,
+        page_size=_PAPER_DISK.page_size,
+    )
+    node = NodeSpec(cores=_PAPER_NODE.cores,
+                    tuple_cpu_time=_PAPER_NODE.tuple_cpu_time, disk=disk)
+    return ClusterSpec(num_nodes=num_nodes, node=node,
+                       network=_PAPER_NETWORK)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tunable knobs of the ReDe executor.
+
+    Attributes:
+        thread_pool_size: simulated threads per node available to SMPE
+            (paper default: 1000, "can be adjusted based on underlying
+            hardware capabilities").
+        inline_referencers: run referencers on the current thread instead of
+            dispatching to the pool ("ReDe does not switch threads for
+            Referencers by default to avoid excessive context switching").
+        thread_switch_time: CPU cost of dispatching work to a pool thread;
+            what inlining referencers avoids paying.
+        pointer_bytes: wire size of a pointer for remote messaging.
+        max_sim_time: guard rail for runaway simulations (simulated seconds).
+        trace: record a :class:`~repro.engine.trace.TraceEvent` per
+            dereference IO (virtual timeline analysis; off by default).
+    """
+
+    thread_pool_size: int = 1000
+    inline_referencers: bool = True
+    thread_switch_time: float = 5e-6
+    pointer_bytes: int = 64
+    max_sim_time: float = 1e7
+    trace: bool = False
+
+
+DEFAULT_ENGINE_CONFIG = EngineConfig()

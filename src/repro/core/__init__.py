@@ -1,0 +1,78 @@
+"""The paper's primary contribution: the Reference-Dereference abstraction,
+schema-on-read interpreters, the first-class structure catalog, and lazy
+structure maintenance."""
+
+from repro.core.chain import ChainQuery
+from repro.core.catalog import (
+    AccessMethodDefinition,
+    StructureCatalog,
+    StructureState,
+)
+from repro.core.functions import (
+    Dereferencer,
+    FileLookupDereferencer,
+    FunctionReferencer,
+    IndexEntryReferencer,
+    IndexLookupDereferencer,
+    IndexRangeDereferencer,
+    KeyReferencer,
+    Referencer,
+)
+from repro.core.interpreters import (
+    AndFilter,
+    ContextMatchFilter,
+    DelimitedTextInterpreter,
+    FieldEqualsFilter,
+    FieldRangeFilter,
+    Filter,
+    FunctionInterpreter,
+    Interpreter,
+    MappingInterpreter,
+    PredicateFilter,
+)
+from repro.core.job import Job, JobBuilder, OutputRow
+from repro.core.maintenance import (
+    IndexAdvice,
+    MaintenanceWorker,
+    StructureAdvisor,
+    WorkloadStats,
+)
+from repro.core.pointers import Pointer, PointerKind, PointerRange
+from repro.core.records import Record, estimate_size
+
+__all__ = [
+    "ChainQuery",
+    "AccessMethodDefinition",
+    "StructureCatalog",
+    "StructureState",
+    "Dereferencer",
+    "FileLookupDereferencer",
+    "FunctionReferencer",
+    "IndexEntryReferencer",
+    "IndexLookupDereferencer",
+    "IndexRangeDereferencer",
+    "KeyReferencer",
+    "Referencer",
+    "AndFilter",
+    "ContextMatchFilter",
+    "DelimitedTextInterpreter",
+    "FieldEqualsFilter",
+    "FieldRangeFilter",
+    "Filter",
+    "FunctionInterpreter",
+    "Interpreter",
+    "MappingInterpreter",
+    "PredicateFilter",
+    "Job",
+    "JobBuilder",
+    "OutputRow",
+    "IndexAdvice",
+    "MaintenanceWorker",
+    "StructureAdvisor",
+    "WorkloadStats",
+    "Pointer",
+    "PointerKind",
+    "PointerRange",
+    "Record",
+    "estimate_size",
+]

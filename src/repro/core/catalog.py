@@ -1,0 +1,358 @@
+"""The structure catalog: LakeHarbor's "structures as first-class citizens".
+
+Paper, Section II: "LakeHarbor enables the post hoc definition of access
+methods for data stored in data lakes; the user or the third-party software
+is allowed to inject access method definitions that describe how one can
+interpret and access target data.  LakeHarbor then creates auxiliary data
+structures (e.g., indexes) for the target data, if necessary, by using the
+definitions and uses the structures to access the data efficiently."
+
+:class:`StructureCatalog` holds these registrations.  An
+:class:`AccessMethodDefinition` binds an *Interpreter* (how to read the raw
+record) and a key extraction (what to index) to a base file; the catalog
+builds the corresponding index **lazily** — on first use or when the
+maintenance worker (:mod:`repro.core.maintenance`) gets to it — mirroring
+Section III-D: "ReDe builds indexes flexibly in the background by using
+registered *Interpreters* and *Referencers* ... ReDe lazily creates indexes
+by using the emitted pair."
+"""
+
+from __future__ import annotations
+
+import enum
+import logging
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+from repro.core.interpreters import Interpreter
+from repro.core.records import Record
+from repro.errors import AccessMethodError, UnknownStructure
+from repro.storage.dfs import DistributedFileSystem
+from repro.storage.files import BtreeFile, File, PartitionedFile
+
+__all__ = ["AccessMethodDefinition", "StructureState", "StructureCatalog"]
+
+logger = logging.getLogger("repro.catalog")
+
+
+class StructureState(enum.Enum):
+    """Lifecycle of a registered structure."""
+
+    REGISTERED = "registered"  # definition known, index not built
+    BUILT = "built"            # index materialized and usable
+
+
+@dataclass
+class AccessMethodDefinition:
+    """A post hoc access-method registration for one index.
+
+    Attributes:
+        name: the index's catalog name.
+        base_file: the raw file the index covers.
+        interpreter: schema-on-read interpretation of base records.
+        key_field: field of the interpreted view to index on.  Mutually
+            exclusive with ``key_fn``.
+        key_fn: arbitrary ``Record -> key`` extraction (for keys that are
+            not a single interpreted field — e.g. a claim's disease codes).
+            May return None (skip) or a list of keys (multi-valued index
+            entries, used for the nested insurance-claim sub-records).
+        scope: ``"global"`` (partitioned by index key), ``"local"``
+            (colocated with base partitions), or ``"replicated"`` (a full
+            copy per node — always-local probes, N-fold maintenance).
+        partitioning: for global indexes, ``"hash"`` (the paper's layout
+            for foreign keys — equality probes hit one partition) or
+            ``"range"`` (equi-depth boundaries computed at build time —
+            range probes prune to the overlapping partitions).
+    """
+
+    name: str
+    base_file: str
+    interpreter: Optional[Interpreter] = None
+    key_field: Optional[str] = None
+    key_fn: Optional[Callable[[Record], Any]] = None
+    scope: str = "global"
+    order: int = 64
+    partitioning: str = "hash"
+    #: partition count for global indexes (None = DFS default, one per
+    #: node).  A count coprime to the node count avoids accidental
+    #: co-location of index partitions with same-keyed base partitions.
+    num_partitions: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.key_field is None) == (self.key_fn is None):
+            raise AccessMethodError(
+                f"access method {self.name!r} needs exactly one of "
+                "key_field or key_fn")
+        if self.key_field is not None and self.interpreter is None:
+            raise AccessMethodError(
+                f"access method {self.name!r} uses key_field and therefore "
+                "needs an interpreter")
+        if self.scope not in ("global", "local", "replicated"):
+            raise AccessMethodError(
+                f"access method {self.name!r} has invalid scope "
+                f"{self.scope!r}")
+        if self.partitioning not in ("hash", "range"):
+            raise AccessMethodError(
+                f"access method {self.name!r} has invalid partitioning "
+                f"{self.partitioning!r}")
+        if self.partitioning == "range" and self.scope != "global":
+            raise AccessMethodError(
+                "range partitioning applies to global indexes (local "
+                "indexes inherit the base file's partitioning)")
+
+    def extract_keys(self, record: Record) -> list[Any]:
+        """All index keys this record contributes (possibly none)."""
+        if self.key_fn is not None:
+            keys = self.key_fn(record)
+        else:
+            assert self.interpreter is not None and self.key_field is not None
+            keys = self.interpreter.field(record, self.key_field)
+        if keys is None:
+            return []
+        if isinstance(keys, list):
+            return keys
+        return [keys]
+
+
+class StructureCatalog:
+    """Namespace + registry + lazy builder over a DFS.
+
+    Engines resolve dereference targets through :meth:`resolve`, which
+    transparently materializes registered-but-unbuilt indexes — the
+    laziness the paper describes, made observable through
+    :attr:`build_log`.
+    """
+
+    def __init__(self, dfs: DistributedFileSystem) -> None:
+        self.dfs = dfs
+        self._definitions: dict[str, AccessMethodDefinition] = {}
+        self._states: dict[str, StructureState] = {}
+        #: names of indexes in the order the catalog materialized them
+        self.build_log: list[str] = []
+
+    # -- base files ------------------------------------------------------
+
+    def register_file(self, name: str, records: Iterable[Record],
+                      partition_key_fn: Callable[[Record], Any],
+                      key_fn: Optional[Callable[[Record], Any]] = None,
+                      num_partitions: Optional[int] = None
+                      ) -> PartitionedFile:
+        """Load a raw file into the lake (no schema, no structures)."""
+        return self.dfs.load(name, records, partition_key_fn,
+                             key_fn=key_fn, num_partitions=num_partitions)
+
+    # -- access methods --------------------------------------------------
+
+    def register_access_method(self,
+                               definition: AccessMethodDefinition) -> None:
+        """Register an access method; the index is *not* built yet."""
+        if definition.name in self._definitions or definition.name in self.dfs:
+            raise AccessMethodError(
+                f"structure {definition.name!r} already registered")
+        if definition.base_file not in self.dfs:
+            raise UnknownStructure(
+                f"access method {definition.name!r} covers unknown file "
+                f"{definition.base_file!r}")
+        self._definitions[definition.name] = definition
+        self._states[definition.name] = StructureState.REGISTERED
+        logger.info("registered access method %r on %r (scope=%s, lazy)",
+                    definition.name, definition.base_file,
+                    definition.scope)
+
+    def definition(self, name: str) -> AccessMethodDefinition:
+        try:
+            return self._definitions[name]
+        except KeyError:
+            raise UnknownStructure(
+                f"no access method named {name!r}") from None
+
+    def state(self, name: str) -> StructureState:
+        if name in self._states:
+            return self._states[name]
+        if name in self.dfs:
+            return StructureState.BUILT
+        raise UnknownStructure(f"no structure named {name!r}")
+
+    def pending(self) -> list[str]:
+        """Registered access methods whose index is not built yet."""
+        return [name for name, state in self._states.items()
+                if state is StructureState.REGISTERED]
+
+    # -- building --------------------------------------------------------
+
+    def ensure_built(self, name: str) -> BtreeFile:
+        """Materialize an index if needed; returns it."""
+        if self._states.get(name) is StructureState.BUILT or name in self.dfs:
+            return self.dfs.get_index(name)
+        definition = self.definition(name)
+        index = self._build(definition)
+        self._states[name] = StructureState.BUILT
+        self.build_log.append(name)
+        logger.info("built %s index %r on %r (%d entries)",
+                    definition.scope, name, definition.base_file,
+                    len(index))
+        return index
+
+    def build_all(self) -> list[str]:
+        """Materialize every pending index; returns the names built."""
+        built = []
+        for name in self.pending():
+            self.ensure_built(name)
+            built.append(name)
+        return built
+
+    def _build(self, definition: AccessMethodDefinition) -> BtreeFile:
+        if definition.key_fn is None:
+            assert definition.interpreter is not None
+            interpreter = definition.interpreter
+            key_field = definition.key_field
+
+            def extractor(record: Record) -> Any:
+                return interpreter.field(record, key_field)
+        else:
+            extractor = definition.extract_keys  # type: ignore[assignment]
+        key_fn = _flattening(extractor, definition)
+        if definition.scope == "local":
+            return self.dfs.build_local_index(
+                definition.name, definition.base_file, key_fn,
+                order=definition.order)
+        if definition.scope == "replicated":
+            return self.dfs.build_replicated_index(
+                definition.name, definition.base_file, key_fn,
+                order=definition.order)
+        partitioner = None
+        if definition.partitioning == "range":
+            partitioner = self._range_partitioner_for(definition, key_fn)
+        return self.dfs.build_global_index(
+            definition.name, definition.base_file, key_fn,
+            num_partitions=definition.num_partitions,
+            order=definition.order, partitioner=partitioner)
+
+    def _range_partitioner_for(self, definition: AccessMethodDefinition,
+                               key_fn: Callable[[Record], Any]):
+        """Equi-depth split boundaries sampled from the base file's keys."""
+        from repro.storage.partitioner import RangePartitioner
+
+        keys: list[Any] = []
+        for record in self.dfs.get_base(definition.base_file).scan():
+            extracted = key_fn(record)
+            if extracted is None:
+                continue
+            keys.extend(extracted if isinstance(extracted, list)
+                        else [extracted])
+        keys.sort()
+        num_partitions = self.dfs.default_partitions
+        boundaries: list[Any] = []
+        for i in range(1, num_partitions):
+            candidate = keys[i * len(keys) // num_partitions] if keys else i
+            if not boundaries or candidate > boundaries[-1]:
+                boundaries.append(candidate)
+        return RangePartitioner(boundaries)
+
+    # -- incremental loading ----------------------------------------------
+
+    def insert_record(self, file_name: str, record: Record):
+        """Insert a new record, maintaining every *built* index on it.
+
+        This is the loading-path half of the Section V-B trade-off: each
+        additional built structure costs one more index write per insert
+        (returned as ``index_writes`` so experiments can quantify the
+        amplification).  Registered-but-unbuilt access methods cost
+        nothing now — they will see the record when they build, which is
+        exactly what makes lazy structures cheap to declare.
+
+        Returns ``(pointer, index_writes)``.
+        """
+        base = self.dfs.get_base(file_name)
+        loader = self.dfs.loader_info(file_name)
+        partition_key = loader.partition_key_fn(record)
+        pid = base.partition_of_key(partition_key)
+        slot = len(base.partitions[pid])  # the slot insert() will assign
+        pointer = base.insert(record, partition_key,
+                              loader.key_fn(record))
+        index_writes = 0
+        for name, definition in self._definitions.items():
+            if definition.base_file != file_name:
+                continue
+            if self._states[name] is not StructureState.BUILT:
+                continue
+            index = self.dfs.get_index(name)
+            for index_key in definition.extract_keys(record):
+                entry = _physical_entry(index_key, partition_key, slot)
+                if definition.scope == "replicated":
+                    # insert() replicates internally; every replica is a
+                    # separate physical write.
+                    index.insert(index_key, entry)
+                    index_writes += index.num_partitions
+                    continue
+                placement_key = (partition_key
+                                 if definition.scope == "local"
+                                 else index_key)
+                index.insert(index_key, entry,
+                             partition_key=placement_key)
+                index_writes += 1
+        return pointer, index_writes
+
+    def maintained_structures(self, file_name: str) -> list[str]:
+        """Built indexes that inserts into ``file_name`` must update."""
+        return sorted(
+            name for name, definition in self._definitions.items()
+            if definition.base_file == file_name
+            and self._states[name] is StructureState.BUILT)
+
+    # -- resolution (the engines' entry point) ---------------------------
+
+    def resolve(self, name: str) -> File:
+        """Resolve a structure name, lazily building registered indexes."""
+        if name in self.dfs:
+            return self.dfs.get(name)
+        if name in self._definitions:
+            return self.ensure_built(name)
+        raise UnknownStructure(f"no structure named {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.dfs or name in self._definitions
+
+    def names(self) -> list[str]:
+        return sorted(set(self.dfs.names()) | set(self._definitions))
+
+    def inventory(self) -> list[dict[str, Any]]:
+        """Human-readable listing: every structure, its kind and state."""
+        rows = []
+        for name in self.names():
+            if name in self._definitions:
+                definition = self._definitions[name]
+                rows.append({
+                    "name": name,
+                    "kind": f"{definition.scope} index",
+                    "base": definition.base_file,
+                    "state": self._states[name].value,
+                })
+            else:
+                file = self.dfs.get(name)
+                kind = ("base file" if isinstance(file, PartitionedFile)
+                        else f"{getattr(file, 'scope', '?')} index")
+                rows.append({"name": name, "kind": kind, "base": "",
+                             "state": StructureState.BUILT.value})
+        return rows
+
+
+def _physical_entry(index_key: Any, partition_key: Any, slot: int) -> Record:
+    from repro.core.pointers import PointerKind
+    from repro.storage.files import IndexEntry
+
+    return IndexEntry(index_key, partition_key, slot,
+                      kind=PointerKind.PHYSICAL)
+
+
+def _flattening(extractor: Callable[[Record], Any],
+                definition: AccessMethodDefinition
+                ) -> Callable[[Record], Any]:
+    """Adapt extraction to the DFS builder.
+
+    The DFS builder natively expands list-valued keys (one index entry per
+    key), so multi-valued access methods simply hand it the extracted list.
+    """
+    if definition.key_fn is None:
+        return extractor
+    return lambda record: definition.extract_keys(record) or None

@@ -1,0 +1,195 @@
+"""ChainQuery: a higher-level abstraction over Reference-Dereference.
+
+Section V-A names this research direction: "the Reference-Dereference
+abstraction ... might not be high-level enough.  A higher-level
+abstraction brings not only better usability but also an opportunity for
+query optimizations ... Exploring higher-level abstractions without
+compromising flexibility and efficiency is an important research
+challenge."
+
+:class:`ChainQuery` is one such abstraction: a declarative
+select-join-chain builder that *compiles to* a plain
+:class:`~repro.core.job.Job`, so every engine (and the hybrid optimizer)
+runs it unchanged — no flexibility or efficiency is given up, the chain is
+just sugar over choosing pre-defined Referencers/Dereferencers.
+
+Example — TPC-H Q5′ in chain form::
+
+    job = (ChainQuery("q5", interpreter=INTERP)
+           .from_index_range("idx_orders_orderdate", low, high,
+                             base="orders")
+           .join("customer", key="o_custkey",
+                 carry=["o_orderkey", "o_orderdate"])
+           .join("nation", key="c_nationkey",
+                 carry=["c_custkey", "c_nationkey"])
+           .join("region", key="n_regionkey", carry=["n_name"])
+           .filter_equals("r_name", "ASIA")
+           .join("lineitem", context_key="o_orderkey", carry=["r_name"])
+           .join("supplier", key="l_suppkey",
+                 carry=["l_orderkey", "l_linenumber", "l_suppkey"])
+           .filter_context_match("s_nationkey", "c_nationkey")
+           .build())
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Optional, Sequence, Union
+
+from repro.core.functions import (
+    Dereferencer,
+    FileLookupDereferencer,
+    IndexEntryReferencer,
+    IndexLookupDereferencer,
+    IndexRangeDereferencer,
+    KeyReferencer,
+)
+from repro.core.interpreters import (
+    AndFilter,
+    ContextMatchFilter,
+    FieldEqualsFilter,
+    FieldRangeFilter,
+    Filter,
+    Interpreter,
+    MappingInterpreter,
+    PredicateFilter,
+)
+from repro.core.job import Job
+from repro.core.pointers import Pointer, PointerRange
+from repro.core.records import Record
+from repro.errors import JobDefinitionError
+
+__all__ = ["ChainQuery"]
+
+
+class ChainQuery:
+    """Fluent select-join chains that compile to Reference-Dereference
+    jobs."""
+
+    def __init__(self, name: str = "chain",
+                 interpreter: Optional[Interpreter] = None) -> None:
+        self.name = name
+        self.interpreter = interpreter or MappingInterpreter()
+        self._functions: list = []
+        self._inputs: list[Union[Pointer, PointerRange]] = []
+
+    # -- sources -----------------------------------------------------------
+
+    def from_index_range(self, index: str, low: Any, high: Any,
+                         base: Optional[str] = None) -> "ChainQuery":
+        """Start from a B-tree range probe; optionally fetch the base
+        records the entries point at."""
+        self._require_empty()
+        self._functions.append(IndexRangeDereferencer(index))
+        self._inputs.append(PointerRange(index, low, high))
+        if base is not None:
+            self._fetch_from_entries(base)
+        return self
+
+    def from_index_lookup(self, index: str, keys: Sequence[Any],
+                          base: Optional[str] = None) -> "ChainQuery":
+        """Start from equality probes for each key in ``keys``."""
+        self._require_empty()
+        self._functions.append(IndexLookupDereferencer(index))
+        for key in keys:
+            self._inputs.append(Pointer(index, key, key))
+        if base is not None:
+            self._fetch_from_entries(base)
+        return self
+
+    def from_pointers(self, file: str, keys: Sequence[Any]) -> "ChainQuery":
+        """Start by fetching base records directly by partition key."""
+        self._require_empty()
+        self._functions.append(FileLookupDereferencer(file))
+        for key in keys:
+            self._inputs.append(Pointer(file, key, key))
+        return self
+
+    def _require_empty(self) -> None:
+        if self._functions:
+            raise JobDefinitionError(
+                "a chain can have only one source (from_* called twice?)")
+
+    def _fetch_from_entries(self, base: str) -> None:
+        self._functions.append(IndexEntryReferencer(base))
+        self._functions.append(FileLookupDereferencer(base))
+
+    # -- joins ---------------------------------------------------------------
+
+    def join(self, target: str, key: Optional[str] = None,
+             context_key: Optional[str] = None,
+             via_index: Optional[str] = None,
+             carry: Union[Sequence[str], Mapping[str, str], None] = None,
+             broadcast: bool = False) -> "ChainQuery":
+        """Index nested-loop join to ``target``.
+
+        ``key`` takes the join key from the current record (schema-on-read);
+        ``context_key`` takes it from carried context (resuming a chain
+        after a dimension hop).  With ``via_index`` the key probes that
+        secondary index first and follows its entries into ``target``
+        (the global/local-index join of Fig. 4); without it, ``target`` is
+        assumed partitioned by the join key (direct fetch).
+        """
+        self._require_started()
+        probe_target = via_index if via_index is not None else target
+        self._functions.append(KeyReferencer(
+            probe_target, self.interpreter, key_field=key,
+            key_from_context=context_key, carry=carry,
+            broadcast=broadcast))
+        if via_index is not None:
+            self._functions.append(IndexLookupDereferencer(via_index))
+            self._fetch_from_entries(target)
+        else:
+            self._functions.append(FileLookupDereferencer(target))
+        return self
+
+    def _require_started(self) -> None:
+        if not self._functions:
+            raise JobDefinitionError(
+                "call a from_* source before joins/filters")
+
+    # -- filters ---------------------------------------------------------------
+
+    def _attach_filter(self, new_filter: Filter) -> None:
+        self._require_started()
+        last = self._functions[-1]
+        if not isinstance(last, Dereferencer):
+            raise JobDefinitionError(
+                "filters attach to the preceding fetch; the chain does "
+                "not end in one")
+        if last.filter is None:
+            last.filter = new_filter
+        else:
+            last.filter = AndFilter(last.filter, new_filter)
+
+    def filter_equals(self, field: str, value: Any) -> "ChainQuery":
+        """Keep rows whose interpreted ``field`` equals ``value``."""
+        self._attach_filter(FieldEqualsFilter(self.interpreter, field,
+                                              value))
+        return self
+
+    def filter_range(self, field: str, low: Any = None,
+                     high: Any = None) -> "ChainQuery":
+        """Keep rows whose interpreted ``field`` lies in ``[low, high]``."""
+        self._attach_filter(FieldRangeFilter(self.interpreter, field, low,
+                                             high))
+        return self
+
+    def filter_context_match(self, field: str,
+                             context_key: str) -> "ChainQuery":
+        """Keep rows whose ``field`` equals a carried context value — a
+        residual join predicate."""
+        self._attach_filter(ContextMatchFilter(self.interpreter, field,
+                                               context_key))
+        return self
+
+    def filter_fn(self, fn: Callable[[Record, Mapping[str, Any]], bool],
+                  name: str = "") -> "ChainQuery":
+        """Arbitrary schema-on-read predicate."""
+        self._attach_filter(PredicateFilter(fn, name=name))
+        return self
+
+    # -- compilation --------------------------------------------------------
+
+    def build(self) -> Job:
+        """Compile to a validated Reference-Dereference job."""
+        return Job(self._functions, self._inputs, name=self.name)

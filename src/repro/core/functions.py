@@ -1,0 +1,283 @@
+"""Reference and dereference functions — the heart of ReDe's abstraction.
+
+Paper, Section III-B: "A *reference* function takes a record and produces a
+set of pointers to other records that the record is associated with.  A
+*dereference* function takes a pointer or two pointers and produces a set of
+records that the pointer points to or a set of records between the ranges
+that the two pointers point to."
+
+The pre-defined library below covers the indexing-scheme taxonomy the paper
+targets (local/global index probes, index nested-loop joins, broadcast
+joins): "*Referencers* and *Dereferencers* to support the indexing schemes
+are pre-defined by the system and reusable ... programmers' task to define a
+job in most cases is choosing *Referencers* and *Dereferencers* to use,
+creating an *Interpreter* for each *Referencer* for schema-on-read, [and]
+optionally creating a *Filter* for each *Dereferencer*".
+
+Join context: each in-flight item carries an immutable context mapping that
+referencers may extend (``carry``), so multi-way join outputs can include
+attributes picked up along the pointer chain.  The engines treat context as
+opaque.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Union
+
+from repro.core.interpreters import Filter, Interpreter
+from repro.core.pointers import Pointer, PointerKind, PointerRange
+from repro.core.records import Record
+from repro.errors import ExecutionError, JobDefinitionError
+from repro.storage.files import (
+    BtreeFile,
+    File,
+    PartitionedFile,
+    TARGET_KEY_FIELD,
+    TARGET_KIND_FIELD,
+    TARGET_PARTITION_FIELD,
+)
+
+__all__ = [
+    "Emission",
+    "Referencer",
+    "Dereferencer",
+    "IndexEntryReferencer",
+    "KeyReferencer",
+    "FunctionReferencer",
+    "IndexRangeDereferencer",
+    "IndexLookupDereferencer",
+    "FileLookupDereferencer",
+]
+
+Context = Mapping[str, Any]
+#: What a referencer emits: a pointer (or range) plus the context that the
+#: downstream dereference inherits.
+Emission = tuple[Union[Pointer, PointerRange], Context]
+
+_EMPTY_CONTEXT: Context = {}
+
+
+def _extend_context(context: Context, additions: Mapping[str, Any]) -> Context:
+    """Context is copy-on-extend so parallel branches never share state."""
+    if not additions:
+        return context
+    merged = dict(context)
+    merged.update(additions)
+    return merged
+
+
+class Referencer(abc.ABC):
+    """record → pointers.  Pure CPU; the engines run these inline by default
+    ("ReDe does not switch threads for *Referencers* ... because
+    *Referencers* do not usually incur IO and are lightweight")."""
+
+    @abc.abstractmethod
+    def reference(self, record: Record,
+                  context: Context) -> Iterable[Emission]:
+        """Produce pointers (with inherited/extended context) from a record."""
+
+
+class Dereferencer(abc.ABC):
+    """pointer(s) → records, against one named structure.
+
+    "every *Dereferencer* manages either a *File* or a *BtreeFile*" — the
+    structure is named here and resolved through the catalog at run time, so
+    the same function object is reusable across jobs (and across files with
+    the same shape).
+    """
+
+    def __init__(self, file_name: str,
+                 filter: Optional[Filter] = None) -> None:
+        self.file_name = file_name
+        self.filter = filter
+
+    @abc.abstractmethod
+    def fetch(self, file: File, target: Union[Pointer, PointerRange],
+              partition_id: int) -> list[Record]:
+        """Fetch the records the target denotes within one partition.
+
+        The engine decides *which* partitions a target touches (one for a
+        keyed pointer, all for a broadcast) and charges the corresponding
+        IO; the dereferencer only supplies the per-partition access logic.
+        """
+
+    def apply_filter(self, records: Iterable[Record],
+                     context: Context) -> list[Record]:
+        """Run the optional schema-on-read filter over fetched records."""
+        if self.filter is None:
+            return list(records)
+        return [r for r in records if self.filter.matches(r, context)]
+
+
+# --------------------------------------------------------------------------
+# Pre-defined referencers
+# --------------------------------------------------------------------------
+
+
+class IndexEntryReferencer(Referencer):
+    """From an index-entry record, build the pointer into the base file.
+
+    This is *Referencer-1*/*Referencer-3* of Fig. 4: it interprets the
+    record emitted by an index probe "with schema-on-read ... then creates a
+    pointer to a Part record from the interpreted record and emits the
+    pointer".  Index entries follow the :func:`~repro.storage.files.
+    IndexEntry` convention, so no user interpreter is needed.
+    """
+
+    def __init__(self, target_file: str,
+                 carry: Union[Sequence[str], Mapping[str, str], None] = None
+                 ) -> None:
+        self.target_file = target_file
+        self.carry = _normalize_carry(carry)
+
+    def reference(self, record: Record,
+                  context: Context) -> Iterable[Emission]:
+        try:
+            partition_key = record[TARGET_PARTITION_FIELD]
+            key = record[TARGET_KEY_FIELD]
+        except (KeyError, TypeError) as exc:
+            raise ExecutionError(
+                f"record {record!r} is not an index entry") from exc
+        kind = PointerKind(record.get(TARGET_KIND_FIELD,
+                                      PointerKind.LOGICAL.value))
+        additions = {ctx_key: record.get(field)
+                     for ctx_key, field in self.carry.items()}
+        pointer = Pointer(self.target_file, partition_key, key, kind)
+        yield pointer, _extend_context(context, additions)
+
+
+class KeyReferencer(Referencer):
+    """Extract a key from a record (schema-on-read) and point at a structure.
+
+    This is *Referencer-2* of Fig. 4: "takes the Part record and extracts a
+    pointer to the B-tree index of Lineitem.l_partkey".  With
+    ``broadcast=True`` the emitted pointer carries no partition information,
+    which makes the engine "replicate the given pointer to all the
+    partitions" — the paper's broadcast-join mechanism.
+    """
+
+    def __init__(self, target_file: str, interpreter: Interpreter,
+                 key_field: Optional[str] = None,
+                 partition_key_field: Optional[str] = None,
+                 carry: Union[Sequence[str], Mapping[str, str], None] = None,
+                 broadcast: bool = False,
+                 key_from_context: Optional[str] = None) -> None:
+        if (key_field is None) == (key_from_context is None):
+            raise JobDefinitionError(
+                "KeyReferencer needs exactly one of key_field or "
+                "key_from_context")
+        self.target_file = target_file
+        self.interpreter = interpreter
+        self.key_field = key_field
+        self.partition_key_field = partition_key_field
+        self.carry = _normalize_carry(carry)
+        self.broadcast = broadcast
+        self.key_from_context = key_from_context
+
+    def reference(self, record: Record,
+                  context: Context) -> Iterable[Emission]:
+        view = self.interpreter.interpret(record)
+        if self.key_from_context is not None:
+            # Multi-way joins resume from an attribute picked up earlier in
+            # the chain (e.g. back to Lineitem by the carried o_orderkey
+            # after a dimension-table check).
+            key = context.get(self.key_from_context)
+        else:
+            key = view.get(self.key_field)
+        if key is None:
+            return  # schema-on-read: silently skip records without the key
+        if self.broadcast:
+            partition_key = None
+        elif self.partition_key_field is not None:
+            partition_key = view.get(self.partition_key_field)
+        else:
+            partition_key = key
+        additions = {ctx_key: view.get(field)
+                     for ctx_key, field in self.carry.items()}
+        pointer = Pointer(self.target_file, partition_key, key,
+                          PointerKind.LOGICAL)
+        yield pointer, _extend_context(context, additions)
+
+
+class FunctionReferencer(Referencer):
+    """Wraps an arbitrary reference function — the fully general escape
+    hatch for access-method definitions that "could contain arbitrary
+    logic"."""
+
+    def __init__(self, fn: Callable[[Record, Context], Iterable[Emission]],
+                 name: str = "") -> None:
+        self._fn = fn
+        self.name = name or getattr(fn, "__name__", "referencer")
+
+    def reference(self, record: Record,
+                  context: Context) -> Iterable[Emission]:
+        return self._fn(record, context)
+
+
+# --------------------------------------------------------------------------
+# Pre-defined dereferencers
+# --------------------------------------------------------------------------
+
+
+class IndexRangeDereferencer(Dereferencer):
+    """Range probe of a ``BtreeFile`` — *Dereferencer-0* of Fig. 4.
+
+    "takes a range of Part.p_retailprice values as arguments and uses the
+    B-tree index to get a set of matching records ... It then emits each
+    record if the record matches a filtering condition."
+    """
+
+    def fetch(self, file: File, target: Union[Pointer, PointerRange],
+              partition_id: int) -> list[Record]:
+        if not isinstance(file, BtreeFile):
+            raise JobDefinitionError(
+                f"{type(self).__name__} targets {self.file_name!r}, which "
+                "is not a BtreeFile")
+        if isinstance(target, PointerRange):
+            return file.range_lookup(target, partition_id)
+        return file.lookup_in_partition(partition_id, target)
+
+
+class IndexLookupDereferencer(Dereferencer):
+    """Equality probe of a ``BtreeFile`` — *Dereferencer-2* of Fig. 4."""
+
+    def fetch(self, file: File, target: Union[Pointer, PointerRange],
+              partition_id: int) -> list[Record]:
+        if not isinstance(file, BtreeFile):
+            raise JobDefinitionError(
+                f"{type(self).__name__} targets {self.file_name!r}, which "
+                "is not a BtreeFile")
+        if isinstance(target, PointerRange):
+            raise ExecutionError(
+                "equality dereferencer received a pointer range; use "
+                "IndexRangeDereferencer")
+        return file.lookup_in_partition(partition_id, target)
+
+
+class FileLookupDereferencer(Dereferencer):
+    """Record fetch from a base ``File`` — *Dereferencer-1*/*-3* of Fig. 4:
+    "takes the pointer and accesses the Part file using the pointer to get
+    the corresponding record"."""
+
+    def fetch(self, file: File, target: Union[Pointer, PointerRange],
+              partition_id: int) -> list[Record]:
+        if not isinstance(file, PartitionedFile):
+            raise JobDefinitionError(
+                f"{type(self).__name__} targets {self.file_name!r}, which "
+                "is not a base file")
+        if isinstance(target, PointerRange):
+            raise ExecutionError(
+                "base-file dereferencer cannot take a pointer range")
+        return file.lookup_in_partition(partition_id, target)
+
+
+def _normalize_carry(
+        carry: Union[Sequence[str], Mapping[str, str], None]
+) -> Mapping[str, str]:
+    """Accept ``["f1", "f2"]`` (identity naming) or ``{"ctx": "field"}``."""
+    if carry is None:
+        return {}
+    if isinstance(carry, Mapping):
+        return dict(carry)
+    return {name: name for name in carry}

@@ -1,0 +1,181 @@
+"""Job definition: an ordered list of reference/dereference functions.
+
+Paper, Section III-B/Fig. 4: "A ReDe job defines a list of the reference and
+dereference functions ... Composing such a list is similar to creating a
+MapReduce job caring for how data is partitioned."  And Section III-C: "the
+order of funcs specifies data dependencies, and funcs define structural
+information" (Algorithm 1, lines 10-12) — this list is exactly what the
+engines consume.
+
+A valid job alternates *Dereferencer, Referencer, Dereferencer, ...*: stage
+0 dereferences the job's initial pointers, every referencer turns fetched
+records into the next stage's pointers, and the final stage is a
+dereferencer whose (filtered) records are the job output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+
+from repro.core.functions import Dereferencer, Referencer
+from repro.core.interpreters import Interpreter
+from repro.core.pointers import Pointer, PointerRange
+from repro.core.records import Record
+from repro.errors import JobDefinitionError
+
+__all__ = ["Job", "JobBuilder", "OutputRow"]
+
+Target = Union[Pointer, PointerRange]
+
+
+@dataclass(frozen=True)
+class OutputRow:
+    """One job-output item: the final fetched record plus carried context."""
+
+    record: Record
+    context: Mapping[str, Any]
+
+    def project(self, interpreter: Interpreter,
+                fields: Sequence[str]) -> dict[str, Any]:
+        """Build a flat row from interpreted record fields and context.
+
+        Context keys win when both define a name (context was carried
+        deliberately).
+        """
+        view = interpreter.interpret(self.record)
+        row = {name: view.get(name) for name in fields}
+        row.update(self.context)
+        return row
+
+
+class Job:
+    """An immutable, validated Reference-Dereference job."""
+
+    def __init__(self, functions: Sequence[Union[Referencer, Dereferencer]],
+                 inputs: Sequence[Target], name: str = "job") -> None:
+        self.functions = list(functions)
+        self.inputs = list(inputs)
+        self.name = name
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.functions:
+            raise JobDefinitionError("job has no functions")
+        if not self.inputs:
+            raise JobDefinitionError("job has no initial inputs")
+        for index, function in enumerate(self.functions):
+            expect_deref = index % 2 == 0
+            if expect_deref and not isinstance(function, Dereferencer):
+                raise JobDefinitionError(
+                    f"stage {index} must be a Dereferencer, got "
+                    f"{type(function).__name__}")
+            if not expect_deref and not isinstance(function, Referencer):
+                raise JobDefinitionError(
+                    f"stage {index} must be a Referencer, got "
+                    f"{type(function).__name__}")
+        if not isinstance(self.functions[-1], Dereferencer):
+            raise JobDefinitionError(
+                "the final stage must be a Dereferencer (its records are "
+                "the job output)")
+        for target in self.inputs:
+            if not isinstance(target, (Pointer, PointerRange)):
+                raise JobDefinitionError(
+                    f"initial input {target!r} is not a Pointer/PointerRange")
+            first = self.functions[0]
+            if target.file != first.file_name:
+                raise JobDefinitionError(
+                    f"initial input targets {target.file!r} but stage 0 "
+                    f"dereferences {first.file_name!r}")
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.functions)
+
+    def function_at(self, stage: int) -> Optional[
+            Union[Referencer, Dereferencer]]:
+        """The function of a stage, or None past the end (Algorithm 1 checks
+        "if func is null")."""
+        if 0 <= stage < len(self.functions):
+            return self.functions[stage]
+        return None
+
+    def structures(self) -> list[str]:
+        """Names of every structure the job dereferences, in stage order."""
+        return [f.file_name for f in self.functions
+                if isinstance(f, Dereferencer)]
+
+    def describe(self) -> str:
+        """A multi-line, human-readable plan: stages, structures, filters.
+
+        The textual equivalent of Fig. 3's chain diagram::
+
+            Job 'tpch_q5' (13 stages, 1 input)
+              [ 0] Dereference  IndexRangeDereferencer -> idx_orders_orderdate
+              [ 1] Reference    IndexEntryReferencer -> orders
+              ...
+        """
+        lines = [f"Job {self.name!r} ({self.num_stages} stages, "
+                 f"{len(self.inputs)} input"
+                 f"{'s' if len(self.inputs) != 1 else ''})"]
+        for index, function in enumerate(self.functions):
+            if isinstance(function, Dereferencer):
+                target = function.file_name
+                detail = f"{type(function).__name__} -> {target}"
+                if function.filter is not None:
+                    detail += (f"  [filter: "
+                               f"{type(function.filter).__name__}]")
+                lines.append(f"  [{index:2d}] Dereference  {detail}")
+            else:
+                target = getattr(function, "target_file", "?")
+                lines.append(f"  [{index:2d}] Reference    "
+                             f"{type(function).__name__} -> {target}")
+        for target in self.inputs:
+            lines.append(f"  input: {target!r}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        chain = " -> ".join(type(f).__name__ for f in self.functions)
+        return f"Job({self.name!r}: {chain})"
+
+
+class JobBuilder:
+    """Fluent construction of jobs.
+
+    Example (the Fig. 4 Part–Lineitem join)::
+
+        job = (JobBuilder("part_lineitem_join")
+               .dereference(IndexRangeDereferencer("idx_retailprice"))
+               .reference(IndexEntryReferencer("part"))
+               .dereference(FileLookupDereferencer("part"))
+               .reference(KeyReferencer("idx_l_partkey", interp, "p_partkey"))
+               .dereference(IndexLookupDereferencer("idx_l_partkey"))
+               .reference(IndexEntryReferencer("lineitem"))
+               .dereference(FileLookupDereferencer("lineitem"))
+               .input(PointerRange("idx_retailprice", low, high))
+               .build())
+    """
+
+    def __init__(self, name: str = "job") -> None:
+        self.name = name
+        self._functions: list[Union[Referencer, Dereferencer]] = []
+        self._inputs: list[Target] = []
+
+    def dereference(self, function: Dereferencer) -> "JobBuilder":
+        self._functions.append(function)
+        return self
+
+    def reference(self, function: Referencer) -> "JobBuilder":
+        self._functions.append(function)
+        return self
+
+    def input(self, target: Target) -> "JobBuilder":
+        self._inputs.append(target)
+        return self
+
+    def inputs(self, targets: Iterable[Target]) -> "JobBuilder":
+        self._inputs.extend(targets)
+        return self
+
+    def build(self) -> Job:
+        return Job(self._functions, self._inputs, name=self.name)

@@ -1,0 +1,239 @@
+"""Structure maintenance: lazy background builds and workload-adaptive advice.
+
+Two pieces:
+
+* :class:`MaintenanceWorker` — materializes registered-but-unbuilt indexes
+  "in the background" (paper, Section III-D).  Given a simulated cluster it
+  also charges the build's cost — each node scans its local base partitions
+  and CPU-processes the records — so experiments can weigh build cost
+  against query speedup, the trade-off Section V-B calls out ("more
+  structures could cause more performance and capacity overheads for
+  loading new data").
+* :class:`WorkloadStats` / :class:`StructureAdvisor` — an implementation of
+  the Section V-B research direction: "structure maintenance should be
+  adaptive to workload changes".  The stats record which (file, field)
+  pairs jobs filter on after fetching; the advisor proposes access methods
+  for hot pairs that have no index yet and can auto-register them.
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.cluster import Cluster
+from repro.core.catalog import AccessMethodDefinition, StructureCatalog
+from repro.core.functions import Dereferencer
+from repro.core.interpreters import (
+    FieldEqualsFilter,
+    FieldRangeFilter,
+    Interpreter,
+)
+from repro.core.job import Job
+
+__all__ = ["MaintenanceWorker", "WorkloadStats", "StructureAdvisor",
+           "IndexAdvice"]
+
+logger = logging.getLogger("repro.maintenance")
+
+
+class MaintenanceWorker:
+    """Builds pending indexes, optionally charging simulated build cost."""
+
+    def __init__(self, catalog: StructureCatalog,
+                 cluster: Optional[Cluster] = None) -> None:
+        self.catalog = catalog
+        self.cluster = cluster
+
+    def run_pending(self) -> tuple[list[str], float]:
+        """Build every pending index.
+
+        Returns ``(names_built, simulated_build_seconds)``; the time is 0.0
+        without a cluster.
+        """
+        pending = self.catalog.pending()
+        total_elapsed = 0.0
+        built: list[str] = []
+        for name in pending:
+            if self.cluster is not None:
+                total_elapsed += self._charge_build_cost(name)
+            self.catalog.ensure_built(name)
+            built.append(name)
+        if built:
+            logger.info("background build of %s took %.4fs simulated",
+                        built, total_elapsed)
+        return built, total_elapsed
+
+    def _charge_build_cost(self, name: str) -> float:
+        """Simulate one build: every node scans its local base partitions in
+        parallel and pays per-record CPU."""
+        assert self.cluster is not None
+        definition = self.catalog.definition(name)
+        base = self.catalog.dfs.get_base(definition.base_file)
+        cluster = self.cluster
+
+        def node_build(node_id: int):
+            node = cluster.node(node_id)
+            for pid in base.partitions_on_node(node_id):
+                nbytes = base.partition_bytes(pid)
+                count = len(base.partitions[pid])
+                yield from node.disk.sequential_read(nbytes)
+                yield from node.process_tuples(count)
+
+        def build_job():
+            procs = [cluster.launch(node_build(n), name=f"build@{n}")
+                     for n in range(cluster.num_nodes)]
+            yield cluster.sim.all_of(procs)
+
+        __, elapsed = cluster.run_job(build_job(), name=f"build:{name}")
+        return elapsed
+
+
+    # -- loading path -----------------------------------------------------
+
+    def load_records(self, file_name: str,
+                     records) -> tuple[int, int, float]:
+        """Insert records while maintaining built indexes.
+
+        Returns ``(records_inserted, index_writes, simulated_seconds)``.
+        With a cluster, every base insert costs one random write and each
+        index maintenance one more, charged to the record's ingest node
+        (a local write-ahead model); nodes ingest their shares in
+        parallel, which is how distributed loaders actually run.
+        """
+        records = list(records)
+        base = self.catalog.dfs.get_base(file_name)
+        total_writes = 0
+        placements: list[tuple] = []
+        for record in records:
+            loader = self.catalog.dfs.loader_info(file_name)
+            partition_key = loader.partition_key_fn(record)
+            node = base.node_of(base.partition_of_key(partition_key))
+            __, writes = self.catalog.insert_record(file_name, record)
+            total_writes += writes
+            placements.append((node, 1 + writes))
+        elapsed = 0.0
+        if self.cluster is not None:
+            elapsed = self._charge_load_cost(placements)
+        return len(records), total_writes, elapsed
+
+    def _charge_load_cost(self, placements) -> float:
+        """Each (node, write_count) streams its writes on that node."""
+        assert self.cluster is not None
+        cluster = self.cluster
+        per_node: dict[int, int] = {}
+        for node, writes in placements:
+            per_node[node] = per_node.get(node, 0) + writes
+
+        def node_ingest(node_id: int, writes: int):
+            disk = cluster.node(node_id).disk
+            for __ in range(writes):
+                yield from disk.random_read()  # write ~ one random IO
+
+        def load_job():
+            procs = [cluster.launch(node_ingest(node, writes),
+                                    name=f"ingest@{node}")
+                     for node, writes in per_node.items()]
+            yield cluster.sim.all_of(procs)
+
+        __, elapsed = cluster.run_job(load_job(), name="load")
+        return elapsed
+
+
+@dataclass(frozen=True)
+class IndexAdvice:
+    """One advised structure: index ``field`` of ``base_file``."""
+
+    base_file: str
+    field: str
+    kind: str  # "range" or "equality"
+    demand: int  # how many times the workload wanted it
+
+    def suggested_name(self) -> str:
+        return f"idx_{self.base_file}_{self.field}"
+
+    def suggested_scope(self) -> str:
+        # Range predicates favour local (colocated, range-scannable)
+        # indexes; equality probes favour global single-partition probes.
+        return "local" if self.kind == "range" else "global"
+
+
+class WorkloadStats:
+    """Counts post-fetch filter usage per (file, field, kind)."""
+
+    def __init__(self) -> None:
+        self._counts: Counter[tuple[str, str, str]] = Counter()
+
+    def note(self, base_file: str, field: str, kind: str,
+             count: int = 1) -> None:
+        self._counts[(base_file, field, kind)] += count
+
+    def observe_job(self, job: Job) -> None:
+        """Harvest filter shapes from a job definition.
+
+        A dereferencer that fetches from file F and then filters on field X
+        is exactly the access an index on (F, X) would accelerate.
+        """
+        for function in job.functions:
+            if not isinstance(function, Dereferencer):
+                continue
+            filter_ = function.filter
+            if isinstance(filter_, FieldRangeFilter):
+                self.note(function.file_name, filter_.field, "range")
+            elif isinstance(filter_, FieldEqualsFilter):
+                self.note(function.file_name, filter_.field, "equality")
+
+    def demand(self, base_file: str, field: str) -> int:
+        return sum(count for (file, fld, __), count in self._counts.items()
+                   if file == base_file and fld == field)
+
+    def items(self):
+        return self._counts.items()
+
+
+class StructureAdvisor:
+    """Proposes (and optionally registers) indexes for hot filtered fields."""
+
+    def __init__(self, catalog: StructureCatalog,
+                 stats: WorkloadStats) -> None:
+        self.catalog = catalog
+        self.stats = stats
+
+    def advise(self, min_demand: int = 2) -> list[IndexAdvice]:
+        """Advice for (file, field) pairs with demand >= ``min_demand`` and
+        no existing structure, hottest first."""
+        advice = []
+        for (base_file, field, kind), count in self.stats.items():
+            if count < min_demand:
+                continue
+            name = f"idx_{base_file}_{field}"
+            if name in self.catalog:
+                continue
+            if base_file not in self.catalog:
+                continue
+            advice.append(IndexAdvice(base_file, field, kind, count))
+        advice.sort(key=lambda a: (-a.demand, a.base_file, a.field))
+        return advice
+
+    def auto_apply(self, interpreter: Interpreter,
+                   min_demand: int = 2) -> list[str]:
+        """Register access methods for all current advice.
+
+        The indexes stay lazy — they build on first use or on the next
+        maintenance run, which is what makes the adaptation cheap to decide
+        and pay-as-you-go to apply.
+        """
+        applied = []
+        for item in self.advise(min_demand=min_demand):
+            definition = AccessMethodDefinition(
+                name=item.suggested_name(),
+                base_file=item.base_file,
+                interpreter=interpreter,
+                key_field=item.field,
+                scope=item.suggested_scope(),
+            )
+            self.catalog.register_access_method(definition)
+            applied.append(definition.name)
+        return applied

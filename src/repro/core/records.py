@@ -1,0 +1,113 @@
+"""The ``Record`` primitive of ReDe's I/O abstraction.
+
+A *Record* is "a unit of data that ReDe reads and writes" (paper,
+Section III-B).  Records are deliberately schema-free: the payload may be a
+mapping (a relational-style row), a raw string (e.g., one Japanese insurance
+claim in the standardized text format), or any other Python value.  Schema
+interpretation happens at read time through :class:`~repro.core.interpreters.
+Interpreter` functions — this is what preserves schema-on-read.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+__all__ = ["Record", "estimate_size"]
+
+_SCALAR_SIZES = {int: 8, float: 8, bool: 1, type(None): 0}
+
+
+def estimate_size(value: Any) -> int:
+    """Estimate the serialized size of a value in bytes.
+
+    Used to charge network-transfer and scan costs in the simulated cluster.
+    The estimate is intentionally simple and stable: 8 bytes per number,
+    one byte per character of text, and recursive sums for containers (plus a
+    small per-field overhead for mappings).
+    """
+    value_type = type(value)
+    if value_type in _SCALAR_SIZES:
+        return _SCALAR_SIZES[value_type]
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, bytes):
+        return len(value)
+    if isinstance(value, Mapping):
+        return sum(estimate_size(k) + estimate_size(v) + 2
+                   for k, v in value.items())
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sum(estimate_size(item) for item in value) + 8
+    return 16  # opaque object: a fixed nominal footprint
+
+
+class Record:
+    """A unit of stored data with a lazily computed size estimate.
+
+    Attributes:
+        data: the raw payload.  ReDe never interprets it; interpreters do.
+    """
+
+    __slots__ = ("data", "_size")
+
+    def __init__(self, data: Any) -> None:
+        self.data = data
+        self._size: int | None = None
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized-size estimate, cached after the first computation."""
+        if self._size is None:
+            self._size = estimate_size(self.data)
+        return self._size
+
+    def get(self, field: str, default: Any = None) -> Any:
+        """Convenience accessor for mapping payloads.
+
+        This is *not* schema enforcement — it is the schema-on-read shortcut
+        used pervasively by interpreters over relational-style rows.
+        """
+        if isinstance(self.data, Mapping):
+            return self.data.get(field, default)
+        return default
+
+    def __getitem__(self, field: str) -> Any:
+        if isinstance(self.data, Mapping):
+            return self.data[field]
+        raise TypeError(
+            f"record payload of type {type(self.data).__name__} is not "
+            "field-addressable; use an Interpreter"
+        )
+
+    def __contains__(self, field: str) -> bool:
+        return isinstance(self.data, Mapping) and field in self.data
+
+    def fields(self) -> Iterator[str]:
+        """Iterate field names for mapping payloads (empty otherwise)."""
+        if isinstance(self.data, Mapping):
+            yield from self.data
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Record) and self.data == other.data
+
+    def __hash__(self) -> int:
+        # Records with mapping payloads hash by sorted items so equal
+        # records collide; falls back to repr for exotic payloads.
+        data = self.data
+        if isinstance(data, Mapping):
+            return hash(tuple(sorted((k, _hashable(v)) for k, v in data.items())))
+        return hash(_hashable(data))
+
+    def __repr__(self) -> str:
+        text = repr(self.data)
+        if len(text) > 60:
+            text = text[:57] + "..."
+        return f"Record({text})"
+
+
+def _hashable(value: Any) -> Any:
+    """Best-effort conversion of a payload fragment to something hashable."""
+    if isinstance(value, Mapping):
+        return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
+    if isinstance(value, (list, set)):
+        return tuple(_hashable(v) for v in value)
+    return value

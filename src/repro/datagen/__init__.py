@@ -1,0 +1,44 @@
+"""Synthetic dataset generators: TPC-H and Japanese insurance claims."""
+
+from repro.datagen.claims import (
+    ClaimInterpreter,
+    ClaimsGenerator,
+    DISEASE_CODES,
+    DISEASE_PROFILES,
+    MEDICINE_CODES,
+    claim_id_of,
+    disease_codes_of,
+    medicine_codes_of,
+)
+from repro.datagen.fhir import (
+    FhirBundleInterpreter,
+    FhirGenerator,
+    bundle_id_of,
+    condition_codes_of,
+    medication_codes_of,
+)
+from repro.datagen.rng import make_rng, random_phrase
+from repro.datagen.tpch import NATIONS, REGION_NAMES, TABLE_NAMES, \
+    TpchGenerator
+
+__all__ = [
+    "ClaimInterpreter",
+    "ClaimsGenerator",
+    "DISEASE_CODES",
+    "DISEASE_PROFILES",
+    "MEDICINE_CODES",
+    "claim_id_of",
+    "disease_codes_of",
+    "medicine_codes_of",
+    "FhirBundleInterpreter",
+    "FhirGenerator",
+    "bundle_id_of",
+    "condition_codes_of",
+    "medication_codes_of",
+    "make_rng",
+    "random_phrase",
+    "NATIONS",
+    "REGION_NAMES",
+    "TABLE_NAMES",
+    "TpchGenerator",
+]

@@ -1,0 +1,233 @@
+"""Synthetic Japanese public-health insurance claims (paper, Section IV).
+
+The real nationwide claims database is non-public, so this generator emits
+the closest synthetic equivalent of the standardized format in Fig. 8: each
+claim is a raw *text* record made of typed sub-records, one per line, the
+type given by the two leading characters —
+
+=====  ==================================================================
+code   content
+=====  ==================================================================
+IR     the claiming hospital; its ``type`` field says whether the claim
+       is *piecework* or *DPC*, which changes the record layout
+       ("the records are dynamically defined")
+RE     service category (inpatient/outpatient) and patient information
+HO     total medical expenses (insurance points)
+SI     medical treatments provided (repeated)
+IY     medicines prescribed (repeated)
+SY     diseases diagnosed (repeated)
+=====  ==================================================================
+
+Disease/medicine co-occurrence is built in so the paper's three analytical
+queries are meaningful:
+
+* **Q1** hypertension ↔ antihypertensives (common, strongly co-prescribed),
+* **Q2** acne ↔ antimicrobials (uncommon, moderately co-prescribed),
+* **Q3** diabetes ↔ GLP-1 receptor agonists (moderate prevalence, rare
+  co-prescription — GLP-1 drugs are newer and selective).
+
+Nothing downstream assumes a schema: :class:`ClaimInterpreter` parses the
+raw text at read time (schema-on-read), exactly how ReDe consumes the real
+data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.core.interpreters import Interpreter
+from repro.core.records import Record
+from repro.datagen.rng import make_rng
+from repro.errors import DataGenerationError
+
+__all__ = [
+    "DiseaseProfile",
+    "DISEASE_PROFILES",
+    "DISEASE_CODES",
+    "MEDICINE_CODES",
+    "BACKGROUND_DISEASES",
+    "BACKGROUND_MEDICINES",
+    "ClaimsGenerator",
+    "ClaimInterpreter",
+    "claim_id_of",
+    "disease_codes_of",
+    "medicine_codes_of",
+]
+
+
+@dataclass(frozen=True)
+class DiseaseProfile:
+    """One modelled condition and its paired medicine category."""
+
+    name: str
+    disease_codes: tuple[str, ...]
+    medicine_codes: tuple[str, ...]
+    prevalence: float        # fraction of claims diagnosing the condition
+    prescription_rate: float  # P(paired medicine | condition on the claim)
+
+
+DISEASE_PROFILES: dict[str, DiseaseProfile] = {
+    "hypertension": DiseaseProfile(
+        name="hypertension",
+        disease_codes=("SY-HT01", "SY-HT02", "SY-HT03"),
+        medicine_codes=("IY-AHT01", "IY-AHT02", "IY-AHT03", "IY-AHT04"),
+        prevalence=0.20,
+        prescription_rate=0.75,
+    ),
+    "acne": DiseaseProfile(
+        name="acne",
+        disease_codes=("SY-AC01", "SY-AC02"),
+        medicine_codes=("IY-AMC01", "IY-AMC02", "IY-AMC03"),
+        prevalence=0.03,
+        prescription_rate=0.55,
+    ),
+    "diabetes": DiseaseProfile(
+        name="diabetes",
+        disease_codes=("SY-DM01", "SY-DM02", "SY-DM03"),
+        medicine_codes=("IY-GLP01", "IY-GLP02"),
+        prevalence=0.08,
+        prescription_rate=0.20,
+    ),
+}
+
+DISEASE_CODES = {name: profile.disease_codes
+                 for name, profile in DISEASE_PROFILES.items()}
+MEDICINE_CODES = {name: profile.medicine_codes
+                  for name, profile in DISEASE_PROFILES.items()}
+
+BACKGROUND_DISEASES = tuple(f"SY-BG{i:02d}" for i in range(30))
+BACKGROUND_MEDICINES = tuple(f"IY-BG{i:02d}" for i in range(40))
+TREATMENT_CODES = tuple(f"SI-TR{i:02d}" for i in range(25))
+
+
+class ClaimsGenerator:
+    """Generates raw-text claim records with realistic nesting."""
+
+    def __init__(self, num_claims: int = 5000, seed: int = 0,
+                 num_hospitals: int = 200,
+                 num_patients: int | None = None) -> None:
+        if num_claims < 1:
+            raise DataGenerationError("need at least one claim")
+        self.num_claims = num_claims
+        self.seed = seed
+        self.num_hospitals = num_hospitals
+        self.num_patients = num_patients or max(1, num_claims // 3)
+
+    def generate(self) -> list[Record]:
+        """All claims, each a :class:`Record` wrapping raw claim text."""
+        rng = make_rng(self.seed, "claims")
+        claims = []
+        for claim_id in range(1, self.num_claims + 1):
+            claims.append(Record(self._one_claim(rng, claim_id)))
+        return claims
+
+    def _one_claim(self, rng, claim_id: int) -> str:
+        hospital = rng.randrange(1, self.num_hospitals + 1)
+        claim_type = "DPC" if rng.random() < 0.25 else "piecework"
+        month = f"2023{rng.randrange(1, 13):02d}"
+        patient = rng.randrange(1, self.num_patients + 1)
+        category = "inpatient" if rng.random() < 0.15 else "outpatient"
+        age = rng.randrange(0, 100)
+        sex = rng.choice(("1", "2"))
+
+        diseases: list[str] = []
+        medicines: list[tuple[str, int]] = []
+        for profile in DISEASE_PROFILES.values():
+            if rng.random() < profile.prevalence:
+                diseases.append(rng.choice(profile.disease_codes))
+                if rng.random() < profile.prescription_rate:
+                    medicines.append((rng.choice(profile.medicine_codes),
+                                      rng.randrange(50, 500)))
+        for __ in range(rng.randrange(0, 4)):
+            diseases.append(rng.choice(BACKGROUND_DISEASES))
+        for __ in range(rng.randrange(0, 5)):
+            medicines.append((rng.choice(BACKGROUND_MEDICINES),
+                              rng.randrange(10, 300)))
+
+        treatments = [(rng.choice(TREATMENT_CODES), rng.randrange(20, 2000))
+                      for __ in range(rng.randrange(1, 7))]
+        total_points = (sum(points for __, points in medicines)
+                        + sum(points for __, points in treatments))
+
+        lines = [f"IR,{claim_id},{hospital},{claim_type},{month}"]
+        lines.append(f"RE,{patient},{category},{age},{sex}")
+        if claim_type == "DPC":
+            # DPC claims carry a diagnosis-group code in their HO record —
+            # one of the dynamically-defined layout differences.
+            lines.append(f"HO,{total_points},DPC{rng.randrange(1, 500):04d}")
+        else:
+            lines.append(f"HO,{total_points}")
+        for code in diseases:
+            main = "1" if code == diseases[0] else "0"
+            lines.append(f"SY,{code},{main}")
+        for code, points in treatments:
+            lines.append(f"SI,{code},{points},1")
+        for code, points in medicines:
+            lines.append(f"IY,{code},{points},1")
+        return "\n".join(lines)
+
+
+class ClaimInterpreter(Interpreter):
+    """Schema-on-read parser for the raw claim text.
+
+    Produces a nested mapping: scalar fields from IR/RE/HO plus the
+    repeated sub-record lists (``diseases``, ``treatments``,
+    ``medicines``).  Unknown sub-record types are ignored, and missing
+    sub-records simply yield empty fields — schema-on-read never fails on
+    malformed input, it degrades.
+    """
+
+    def interpret(self, record: Record) -> Mapping[str, Any]:
+        if not isinstance(record.data, str):
+            return {}
+        fields: dict[str, Any] = {
+            "diseases": [], "treatments": [], "medicines": [],
+            "medicine_points": {},
+        }
+        for line in record.data.splitlines():
+            parts = line.split(",")
+            kind = parts[0]
+            try:
+                if kind == "IR":
+                    fields["claim_id"] = int(parts[1])
+                    fields["hospital_id"] = int(parts[2])
+                    fields["claim_type"] = parts[3]
+                    fields["billing_month"] = parts[4]
+                elif kind == "RE":
+                    fields["patient_id"] = int(parts[1])
+                    fields["category"] = parts[2]
+                    fields["age"] = int(parts[3])
+                    fields["sex"] = parts[4]
+                elif kind == "HO":
+                    fields["total_points"] = int(parts[1])
+                    if len(parts) > 2:
+                        fields["dpc_code"] = parts[2]
+                elif kind == "SY":
+                    fields["diseases"].append(parts[1])
+                elif kind == "SI":
+                    fields["treatments"].append(parts[1])
+                elif kind == "IY":
+                    fields["medicines"].append(parts[1])
+                    fields["medicine_points"][parts[1]] = int(parts[2])
+            except (IndexError, ValueError):
+                continue  # tolerate malformed sub-records
+        return fields
+
+
+_INTERPRETER = ClaimInterpreter()
+
+
+def claim_id_of(record: Record) -> Any:
+    """Partition-key extractor for the claims file."""
+    return _INTERPRETER.field(record, "claim_id")
+
+
+def disease_codes_of(record: Record) -> list[str]:
+    """Multi-valued key extractor: every diagnosed disease code."""
+    return list(_INTERPRETER.field(record, "diseases") or [])
+
+
+def medicine_codes_of(record: Record) -> list[str]:
+    """Multi-valued key extractor: every prescribed medicine code."""
+    return list(_INTERPRETER.field(record, "medicines") or [])

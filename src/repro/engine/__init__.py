@@ -1,0 +1,27 @@
+"""Execution engines: SMPE (Algorithm 1), partitioned (w/o SMPE), and the
+in-memory reference oracle, plus execution metrics."""
+
+from repro.engine.aggregate import aggregate, distinct_sum, group_by
+from repro.engine.executor import ReDeExecutor
+from repro.engine.hybrid import CostModel, HybridExecutor, HybridResult, \
+    PlanChoice
+from repro.engine.metrics import ExecutionMetrics, JobResult
+from repro.engine.partitioned import PartitionedEngine
+from repro.engine.reference import ReferenceExecutor
+from repro.engine.smpe import SmpeEngine
+
+__all__ = [
+    "aggregate",
+    "distinct_sum",
+    "group_by",
+    "ReDeExecutor",
+    "CostModel",
+    "HybridExecutor",
+    "HybridResult",
+    "PlanChoice",
+    "ExecutionMetrics",
+    "JobResult",
+    "PartitionedEngine",
+    "ReferenceExecutor",
+    "SmpeEngine",
+]

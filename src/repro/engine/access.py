@@ -1,0 +1,176 @@
+"""Shared storage-access logic with simulated cost charging.
+
+Every engine funnels its dereferences through :func:`simulated_dereference`,
+which performs the *real* data-plane fetch (so results are correct) while
+charging virtual time for it:
+
+* random reads on the disk of the node that owns the partition (B-tree
+  probes pay one read per leaf touched; base-file lookups one per record);
+* a network round trip when the executing node is not the owner;
+* a sliver of CPU on the executing node for filtering fetched records.
+
+Partition resolution (:func:`resolve_partitions`) also implements the
+structural pruning a range partitioner affords to range probes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Union
+
+from repro.cluster.cluster import Cluster
+from repro.config import EngineConfig
+from repro.core.functions import Dereferencer
+from repro.core.pointers import Pointer, PointerRange
+from repro.core.records import Record
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.trace import TraceEvent
+from repro.errors import ExecutionError
+from repro.storage.files import BtreeFile, File
+from repro.storage.partitioner import RangePartitioner
+
+__all__ = ["resolve_partitions", "initial_probe_pids",
+           "simulated_dereference", "count_only_dereference"]
+
+Target = Union[Pointer, PointerRange]
+
+
+def resolve_partitions(file: File, target: Target,
+                       executing_node: Optional[int] = None,
+                       local_only: bool = False) -> list[int]:
+    """Partition ids a dereference must touch.
+
+    * ``local_only`` restricts to partitions on the executing node — this is
+      Algorithm 1's ``SETPARTITION(input, LOCAL)`` after a broadcast, and
+      also how each node serves its share of a job-level range probe on a
+      local index.
+    * A keyed target resolves to exactly one partition.
+    * A partition-less range over a *range-partitioned* structure prunes to
+      the partitions intersecting the range.
+    """
+    if getattr(file, "scope", None) == "replicated":
+        # A fully replicated index is probed on the local replica; the
+        # simulation-free reference executor uses replica 0.
+        if executing_node is not None:
+            return file.partitions_on_node(executing_node)
+        return [0]
+    if local_only:
+        if executing_node is None:
+            raise ExecutionError("local-only resolution needs a node id")
+        pids = file.partitions_on_node(executing_node)
+        if (isinstance(target, PointerRange)
+                and isinstance(file.partitioner, RangePartitioner)):
+            keep = set(file.partitioner.partition_range(target.low,
+                                                        target.high))
+            pids = [pid for pid in pids if pid in keep]
+        return pids
+    if getattr(file, "scope", None) == "local":
+        # A local secondary index partitions by the *base* key, so an
+        # index-keyed probe cannot be routed: it must touch every
+        # partition (which is exactly what makes the scheme "local").
+        # The engines' broadcast path covers the per-node parallel case;
+        # this covers direct keyed probes.
+        return list(range(file.num_partitions))
+    if target.partition_key is not None:
+        return [file.partition_of_key(target.partition_key)]
+    if (isinstance(target, PointerRange)
+            and isinstance(file.partitioner, RangePartitioner)):
+        return list(file.partitioner.partition_range(target.low,
+                                                     target.high))
+    return list(range(file.num_partitions))
+
+
+def initial_probe_pids(file: File, target: Target,
+                       node_id: int) -> list[int]:
+    """Stage-0 routing: the partitions node ``node_id`` must probe for one
+    job input.
+
+    * broadcast targets and probes of *local*-scope indexes: this node's
+      local partitions (every node serves its share, range-pruned where
+      the partitioner allows);
+    * replicated indexes: this node's replica;
+    * keyed targets on routable structures: the owning partition, and only
+      on the owning node (other nodes get nothing).
+    """
+    scope = getattr(file, "scope", None)
+    if scope == "replicated":
+        # Every replica holds everything, so exactly one node serves each
+        # job input; keyed inputs spread across replicas by key hash.
+        key = (target.partition_key if target.partition_key is not None
+               else getattr(target, "key", None))
+        serving = (file.partition_of_key(key) % file.num_partitions
+                   if key is not None else 0)
+        if file.node_of(serving) != node_id:
+            return []
+        return [serving]
+    if target.partition_key is None or scope == "local":
+        return resolve_partitions(file, target, executing_node=node_id,
+                                  local_only=True)
+    pid = file.partition_of_key(target.partition_key)
+    if file.node_of(pid) != node_id:
+        return []
+    return [pid]
+
+
+def _fetch_cost_reads(file: File, num_records: int) -> int:
+    """Random reads one fetch costs on the owning node."""
+    if isinstance(file, BtreeFile):
+        return file.probe_io_count(num_records)
+    # Base-file lookup: one page read per record, minimum one (a miss still
+    # reads the page that would have held it).
+    return max(1, num_records)
+
+
+def simulated_dereference(cluster: Cluster, config: EngineConfig,
+                          metrics: ExecutionMetrics, stage: int,
+                          dereferencer: Dereferencer, file: File,
+                          target: Target, partition_id: int,
+                          executing_node: int,
+                          context: Any) -> Iterator:
+    """Process generator: one dereference against one partition.
+
+    Charges IO/network/CPU in virtual time and *returns* the filtered
+    records (use with ``yield from``).
+    """
+    owner = file.node_of(partition_id)
+    start_time = cluster.sim.now
+    records = dereferencer.fetch(file, target, partition_id)
+    is_index = isinstance(file, BtreeFile)
+    reads = _fetch_cost_reads(file, len(records))
+    metrics.count_fetch(stage, len(records), is_index, reads)
+
+    owner_disk = cluster.node(owner).disk
+    for __ in range(reads):
+        # Page reads within one probe are dependent (parent leaf -> next
+        # leaf), so they serialize inside this simulated thread.
+        yield from owner_disk.random_read()
+
+    if owner != executing_node:
+        response_bytes = sum(r.size_bytes for r in records)
+        metrics.count_remote(config.pointer_bytes + response_bytes)
+        yield from cluster.network.request_response(
+            executing_node, owner, config.pointer_bytes, response_bytes)
+
+    if records:
+        yield from cluster.node(executing_node).process_tuples(len(records))
+    if metrics.trace is not None:
+        metrics.trace.append(TraceEvent(
+            stage=stage, node=executing_node, partition=partition_id,
+            owner_node=owner, num_records=len(records),
+            start=start_time, end=cluster.sim.now))
+    return dereferencer.apply_filter(records, context)
+
+
+def count_only_dereference(metrics: ExecutionMetrics, stage: int,
+                           dereferencer: Dereferencer, file: File,
+                           target: Target, partition_id: int,
+                           context: Any) -> list[Record]:
+    """The same fetch without a cluster: counts accesses, charges no time.
+
+    Used by the in-memory reference executor (the correctness oracle and
+    the record-access counter behind Figure 9).
+    """
+    records = dereferencer.fetch(file, target, partition_id)
+    reads = _fetch_cost_reads(file, len(records))
+    metrics.count_fetch(stage, len(records), isinstance(file, BtreeFile),
+                        reads)
+    return dereferencer.apply_filter(records, context)

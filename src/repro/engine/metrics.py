@@ -1,0 +1,115 @@
+"""Execution metrics and the job-result container.
+
+``record_accesses`` is the headline number: Figure 9 of the paper compares
+"the number of record accesses" between engines, because "the number of
+record accesses determines the theoretical limitation of query performance"
+once both systems execute with fine-grained massive parallelism.  We count
+every record fetched from storage (index entries and base records alike),
+before filtering — that is what costs an IO.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.job import OutputRow
+
+__all__ = ["ExecutionMetrics", "JobResult"]
+
+
+@dataclass
+class ExecutionMetrics:
+    """Counters accumulated while executing one job."""
+
+    #: records fetched from storage, pre-filter (index entries + base rows)
+    record_accesses: int = 0
+    #: of which: entries read from B-tree structures
+    index_entry_accesses: int = 0
+    #: of which: rows read from base files
+    base_record_accesses: int = 0
+    #: random disk reads charged
+    random_reads: int = 0
+    #: dereference invocations that crossed nodes
+    remote_fetches: int = 0
+    #: bytes moved across the network for remote dereferences
+    bytes_transferred: int = 0
+    #: function invocations per stage index
+    stage_invocations: Counter = field(default_factory=Counter)
+    #: records fetched per stage index
+    stage_record_accesses: Counter = field(default_factory=Counter)
+    #: peak concurrent pool threads observed across all nodes
+    peak_parallelism: int = 0
+    #: simulated seconds from job launch to completion
+    elapsed_seconds: float = 0.0
+    #: mean fraction of disk spindles busy during the run (0..1) — how
+    #: close the engine came to the IOPS capacity SMPE is built to exploit
+    disk_utilization: float = 0.0
+    #: per-dereference timeline events when tracing is enabled, else None
+    trace: Any = None
+
+    def count_fetch(self, stage: int, num_records: int, is_index: bool,
+                    random_reads: int) -> None:
+        """Account one dereference invocation's storage fetch."""
+        self.record_accesses += num_records
+        if is_index:
+            self.index_entry_accesses += num_records
+        else:
+            self.base_record_accesses += num_records
+        self.random_reads += random_reads
+        self.stage_invocations[stage] += 1
+        self.stage_record_accesses[stage] += num_records
+
+    def count_invocation(self, stage: int) -> None:
+        """Account one referencer invocation (no storage fetch)."""
+        self.stage_invocations[stage] += 1
+
+    def count_remote(self, nbytes: int) -> None:
+        self.remote_fetches += 1
+        self.bytes_transferred += nbytes
+
+    def summary(self) -> dict[str, Any]:
+        """Flat dict view for reports and benchmark tables."""
+        return {
+            "record_accesses": self.record_accesses,
+            "index_entry_accesses": self.index_entry_accesses,
+            "base_record_accesses": self.base_record_accesses,
+            "random_reads": self.random_reads,
+            "remote_fetches": self.remote_fetches,
+            "bytes_transferred": self.bytes_transferred,
+            "peak_parallelism": self.peak_parallelism,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+@dataclass
+class JobResult:
+    """What an engine returns: output rows plus the metrics of the run."""
+
+    rows: list[OutputRow]
+    metrics: ExecutionMetrics
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def row_set(self, interpreter, fields: Sequence[str]) -> set[tuple]:
+        """Order-insensitive comparable view of the output.
+
+        Engines differ wildly in output order (SMPE is massively
+        concurrent), so correctness comparisons use this canonical set of
+        projected tuples.
+        """
+        projected = []
+        for row in self.rows:
+            flat = row.project(interpreter, fields)
+            projected.append(tuple(sorted(flat.items(),
+                                          key=lambda kv: kv[0])))
+        return set(projected)
+
+    def sorted_rows(self, interpreter, fields: Sequence[str]
+                    ) -> list[dict[str, Any]]:
+        """Deterministically ordered projected rows (for display)."""
+        rows = [row.project(interpreter, fields) for row in self.rows]
+        rows.sort(key=lambda r: tuple(repr(v) for v in r.values()))
+        return rows

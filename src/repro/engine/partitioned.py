@@ -1,0 +1,140 @@
+"""ReDe without SMPE: structures plus *partitioned* parallelism only.
+
+Figure 7's middle line: "ReDe (w/o SMPE) simply used the created structures
+and the partitioned parallelism given from data partitions".  Concretely:
+one worker per node walks the Reference-Dereference chain depth-first and
+*sequentially* — every dereference completes before the next begins — so
+the only parallelism is the one-worker-per-node horizontal kind that
+conventional data-lake engines already have.  Same structures, same IO
+charges, same answers; the contrast with :class:`~repro.engine.smpe.
+SmpeEngine` isolates the contribution of dynamic fine-grained parallelism.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Union
+
+from repro.cluster.cluster import Cluster
+from repro.config import DEFAULT_ENGINE_CONFIG, EngineConfig
+from repro.core.catalog import StructureCatalog
+from repro.core.functions import Dereferencer, Referencer
+from repro.core.job import Job, OutputRow
+from repro.core.pointers import Pointer, PointerRange
+from repro.core.records import Record
+from repro.engine.access import (initial_probe_pids, resolve_partitions,
+                                 simulated_dereference)
+from repro.engine.metrics import ExecutionMetrics, JobResult
+from repro.errors import ExecutionError
+
+__all__ = ["PartitionedEngine"]
+
+
+class PartitionedEngine:
+    """ReDe's executor with SMPE disabled (the paper's "w/o SMPE" line)."""
+
+    def __init__(self, cluster: Cluster, catalog: StructureCatalog,
+                 config: EngineConfig = DEFAULT_ENGINE_CONFIG) -> None:
+        self.cluster = cluster
+        self.catalog = catalog
+        self.config = config
+
+    def execute(self, job: Job,
+                max_time: Optional[float] = None,
+                limit: Optional[int] = None) -> JobResult:
+        metrics = ExecutionMetrics()
+        self._limit = limit
+        if self.config.trace:
+            metrics.trace = []
+        results: list[OutputRow] = []
+
+        def job_process():
+            workers = [self.cluster.launch(
+                self._node_worker(job, metrics, results, node_id),
+                name=f"part-node{node_id}")
+                for node_id in range(self.cluster.num_nodes)]
+            yield self.cluster.sim.all_of(workers)
+
+        start = self.cluster.sim.now
+        busy_snaps = [node.disk.spindle_busy_snapshot()
+                      for node in self.cluster.nodes]
+        __, elapsed = self.cluster.run_job(
+            job_process(), name=f"partitioned:{job.name}",
+            max_time=max_time or self.config.max_sim_time)
+        metrics.elapsed_seconds = elapsed
+        metrics.peak_parallelism = self.cluster.num_nodes
+        if limit is not None and len(results) > limit:
+            del results[limit:]
+        end = self.cluster.sim.now
+        if end > start:
+            window = end - start
+            metrics.disk_utilization = sum(
+                (node.disk.spindle_busy_snapshot() - snap)
+                / (node.disk.spindle_count * window)
+                for node, snap in zip(self.cluster.nodes, busy_snaps)
+            ) / self.cluster.num_nodes
+        return JobResult(results, metrics)
+
+    def _limit_reached(self, results: list[OutputRow]) -> bool:
+        limit = getattr(self, "_limit", None)
+        return limit is not None and len(results) >= limit
+
+    def _node_worker(self, job: Job, metrics: ExecutionMetrics,
+                     results: list[OutputRow], node_id: int):
+        """One sequential pass over this node's share of the job inputs."""
+        dereferencer = job.functions[0]
+        assert isinstance(dereferencer, Dereferencer)
+        file = self.catalog.resolve(dereferencer.file_name)
+        for target in job.inputs:
+            if self._limit_reached(results):
+                return
+            pids = initial_probe_pids(file, target, node_id)
+            for pid in pids:
+                records = yield from simulated_dereference(
+                    self.cluster, self.config, metrics, 0, dereferencer,
+                    file, target, pid, node_id, {})
+                for record in records:
+                    yield from self._chain(job, metrics, results, node_id,
+                                           1, record, {})
+
+    def _chain(self, job: Job, metrics: ExecutionMetrics,
+               results: list[OutputRow], node_id: int, stage: int,
+               payload: Union[Record, Pointer, PointerRange],
+               context: Mapping[str, Any]):
+        """Depth-first, strictly sequential continuation of one item."""
+        if self._limit_reached(results):
+            return
+        function = job.function_at(stage)
+        if function is None:
+            if isinstance(payload, Record):
+                results.append(OutputRow(payload, context))
+            return
+
+        if isinstance(function, Referencer):
+            if not isinstance(payload, Record):
+                raise ExecutionError(
+                    f"stage {stage} expects records, got "
+                    f"{type(payload).__name__}")
+            metrics.count_invocation(stage)
+            for pointer, new_context in function.reference(payload, context):
+                yield from self._chain(job, metrics, results, node_id,
+                                       stage + 1, pointer, new_context)
+            return
+
+        if not isinstance(payload, (Pointer, PointerRange)):
+            raise ExecutionError(
+                f"stage {stage} expects pointers, got "
+                f"{type(payload).__name__}")
+        file = self.catalog.resolve(function.file_name)
+        if payload.partition_key is None:
+            # Without SMPE there is no cross-node task shipping: a broadcast
+            # target is probed from here, partition by partition.
+            pids = list(range(file.num_partitions))
+        else:
+            pids = resolve_partitions(file, payload)
+        for pid in pids:
+            records = yield from simulated_dereference(
+                self.cluster, self.config, metrics, stage, function, file,
+                payload, pid, node_id, context)
+            for record in records:
+                yield from self._chain(job, metrics, results, node_id,
+                                       stage + 1, record, context)

@@ -1,0 +1,387 @@
+"""Scalable Massively Parallel Execution — Algorithm 1 of the paper.
+
+The execution model (paper Fig. 6): "ReDe divides a data processing job into
+multiple stages and executes one of the given functions (i.e., *Referencer*
+and *Dereferencer*) in each stage.  Each stage has an input queue and an
+output queue, and the output queue of one stage is the input queue of the
+next stage."  As in the pseudocode, each node runs one dispatcher over a
+single queue of stage-tagged inputs; every dereference invocation gets its
+own (pooled) thread, so parallelism is discovered dynamically from the data
+rather than fixed up front.
+
+Mapping to Algorithm 1:
+
+==============================  =============================================
+Pseudocode                      Here
+==============================  =============================================
+``EXECUTESMPE`` (lines 1-7)     :meth:`SmpeEngine.execute` — launch
+                                ``EXECUTESMPEEACH`` on every node, wait
+``EXECUTESMPEEACH`` (8-18)      :meth:`SmpeEngine._node_main`
+``EXECUTEINITIALSTAGE`` (19-24) :meth:`SmpeEngine._initial_stage`
+``EXECUTESTAGES`` (25-42)       :meth:`SmpeEngine._dispatcher` — the
+                                dequeue loop, broadcast handling
+                                (lines 28-33), null-func handling (36-38,
+                                reinterpreted as result collection), and
+                                per-input thread dispatch (39-40)
+``EXECUTEFUNC`` (43-52)         :meth:`SmpeEngine._execute_dereferencer` /
+                                :meth:`SmpeEngine._execute_referencer` —
+                                run the function, push emitted outputs to
+                                the next stage's queue entries
+==============================  =============================================
+
+Simulated threads come from a per-node pool ("ReDe manages threads in a
+thread pool and reuses them ... 1000 threads in the default setting").
+Referencers run inline on the dispatching thread by default ("ReDe does not
+switch threads for *Referencers* ... to avoid excessive context
+switching"); ``EngineConfig.inline_referencers=False`` restores per-call
+dispatch, paying ``thread_switch_time`` — the ablation benchmark flips this
+switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Union
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.simulation import Event, Resource, Store
+from repro.config import DEFAULT_ENGINE_CONFIG, EngineConfig
+from repro.core.catalog import StructureCatalog
+from repro.core.functions import Dereferencer, Referencer
+from repro.core.job import Job, OutputRow
+from repro.core.pointers import Pointer, PointerRange
+from repro.core.records import Record
+from repro.engine.access import (initial_probe_pids, resolve_partitions,
+                                 simulated_dereference)
+from repro.engine.metrics import ExecutionMetrics, JobResult
+from repro.errors import ExecutionError
+
+__all__ = ["SmpeEngine"]
+
+_SENTINEL = object()
+
+
+@dataclass
+class _StageInput:
+    """One queue entry: Algorithm 1's ``input`` with its ``stage`` tag."""
+
+    stage: int
+    payload: Union[Record, Pointer, PointerRange]
+    context: Mapping[str, Any]
+    #: set after broadcast materialization (``SETPARTITION(input, LOCAL)``)
+    local_only: bool = False
+
+
+class _TaskTracker:
+    """Counts in-flight stage inputs; fires ``done`` at zero.
+
+    Guard tokens held by each node's initial stage prevent a transient zero
+    before any outputs exist.
+    """
+
+    def __init__(self, done: Event) -> None:
+        self._count = 0
+        self._done = done
+        self._finished = False
+
+    def inc(self, amount: int = 1) -> None:
+        if self._finished:
+            raise ExecutionError("task created after job completion")
+        self._count += amount
+
+    def dec(self) -> None:
+        self._count -= 1
+        if self._count < 0:
+            raise ExecutionError("task tracker went negative")
+        if self._count == 0:
+            self._finished = True
+            self._done.succeed()
+
+
+class SmpeEngine:
+    """ReDe's executor with SMPE enabled."""
+
+    def __init__(self, cluster: Cluster, catalog: StructureCatalog,
+                 config: EngineConfig = DEFAULT_ENGINE_CONFIG) -> None:
+        self.cluster = cluster
+        self.catalog = catalog
+        self.config = config
+
+    def submit(self, job: Job,
+               limit: Optional[int] = None) -> tuple[Event, JobResult]:
+        """Launch ``job`` without driving the simulation.
+
+        Returns ``(completion_event, result)``; the result's rows and
+        metrics fill in as the simulation advances.  Multiple submitted
+        jobs share the cluster's resources concurrently — the simulated
+        equivalent of a multi-tenant engine — and are driven together
+        with ``cluster.run_until(...)``.
+        """
+        metrics = ExecutionMetrics()
+        if self.config.trace:
+            metrics.trace = []
+        results: list[OutputRow] = []
+        sim = self.cluster.sim
+        done = sim.event()
+        tracker = _TaskTracker(done)
+        queues = [sim.store(name=f"queue[{n}]")
+                  for n in range(self.cluster.num_nodes)]
+        pools = [Resource(sim, self.config.thread_pool_size,
+                          name=f"pool[{n}]")
+                 for n in range(self.cluster.num_nodes)]
+        state = _RunState(job, metrics, results, tracker, queues, pools,
+                          limit=limit)
+        start = sim.now
+        busy_snaps = [node.disk.spindle_busy_snapshot()
+                      for node in self.cluster.nodes]
+
+        # EXECUTESMPE: "distributing the data processing job to all the
+        # computing nodes" (lines 2-5), then wait (line 6).
+        def job_process():
+            node_procs = []
+            for node_id in range(self.cluster.num_nodes):
+                node_procs.append(self.cluster.launch(
+                    self._node_main(state, node_id),
+                    name=f"smpe-node{node_id}"))
+            yield done
+            # Job finished: unblock every dispatcher.
+            for queue in queues:
+                queue.put(_SENTINEL)
+            yield sim.all_of(node_procs)
+            self._finalize(state, start, busy_snaps, pools)
+
+        completion = self.cluster.launch(job_process(),
+                                         name=f"smpe:{job.name}")
+        return completion, JobResult(results, metrics)
+
+    def _finalize(self, state: "_RunState", start: float,
+                  busy_snaps: list, pools: list) -> None:
+        """Fill in the run-level metrics at completion time."""
+        metrics = state.metrics
+        end = self.cluster.sim.now
+        metrics.elapsed_seconds = end - start
+        metrics.peak_parallelism = sum(pool.max_in_use for pool in pools)
+        if state.limit is not None and len(state.results) > state.limit:
+            del state.results[state.limit:]
+        if end > start:
+            window = end - start
+            metrics.disk_utilization = sum(
+                (node.disk.spindle_busy_snapshot() - snap)
+                / (node.disk.spindle_count * window)
+                for node, snap in zip(self.cluster.nodes, busy_snaps)
+            ) / self.cluster.num_nodes
+
+    def execute(self, job: Job,
+                max_time: Optional[float] = None,
+                limit: Optional[int] = None) -> JobResult:
+        """Run ``job`` to completion; with ``limit``, stop early once
+        that many output rows exist (outstanding tasks are drained, not
+        dispatched)."""
+        completion, result = self.submit(job, limit=limit)
+        self.cluster.run_until(
+            completion, max_time=max_time or self.config.max_sim_time)
+        return result
+
+    # -- per-node execution (EXECUTESMPEEACH, lines 8-18) ----------------
+
+    def _node_main(self, state: "_RunState", node_id: int):
+        # Guard token: held until this node's initial stage has dispatched
+        # everything it will ever dispatch.
+        state.tracker.inc()
+        sim = self.cluster.sim
+        initial = self.cluster.launch(
+            self._initial_stage(state, node_id),
+            name=f"initial@{node_id}")                   # line 14 (on t1)
+        dispatcher = self.cluster.launch(
+            self._dispatcher(state, node_id),
+            name=f"stages@{node_id}")                    # line 16 (on t2)
+        yield initial
+        state.tracker.dec()  # initial stage fully dispatched
+        yield dispatcher                                  # line 17
+
+    # -- initial stage (EXECUTEINITIALSTAGE, lines 19-24) ----------------
+
+    def _initial_stage(self, state: "_RunState", node_id: int):
+        """Run the initial dereferencer over this node's share of the job
+        inputs.
+
+        A broadcast input (no partition key) is served by every node
+        against its local partitions; a keyed input only by the partition
+        owner.  Each touched partition gets its own pool thread, so even
+        stage 0 is parallel within a node.
+        """
+        job = state.job
+        dereferencer = job.functions[0]
+        assert isinstance(dereferencer, Dereferencer)
+        file = self.catalog.resolve(dereferencer.file_name)
+        probes: list[tuple[Any, int]] = []
+        for target in job.inputs:                        # line 22 GETINPUT
+            pids = initial_probe_pids(file, target, node_id)
+            probes.extend((target, pid) for pid in pids)
+
+        procs = []
+        for target, pid in probes:
+            state.tracker.inc()  # one in-flight unit per probe
+            procs.append(self.cluster.launch(
+                self._initial_probe(state, node_id, target, pid),
+                name=f"deref0@{node_id}"))
+        if procs:
+            yield self.cluster.sim.all_of(procs)
+        return None
+
+    def _initial_probe(self, state: "_RunState", node_id: int,
+                       target: Any, pid: int):
+        pool = state.pools[node_id]
+        yield pool.request()
+        try:
+            if state.cancelled:
+                return
+            dereferencer = state.job.functions[0]
+            file = self.catalog.resolve(dereferencer.file_name)
+            records = yield from simulated_dereference(
+                self.cluster, self.config, state.metrics, 0, dereferencer,
+                file, target, pid, node_id, {})
+            for record in records:                       # lines 47-51
+                self._enqueue(state, node_id,
+                              _StageInput(1, record, {}))
+        finally:
+            pool.release()
+            state.tracker.dec()
+
+    # -- the dispatcher (EXECUTESTAGES, lines 25-42) ---------------------
+
+    def _dispatcher(self, state: "_RunState", node_id: int):
+        queue = state.queues[node_id]
+        job = state.job
+        while True:                                      # line 26
+            item = yield queue.get()                     # line 27 DEQUE
+            if item is _SENTINEL:
+                return
+
+            payload = item.payload
+            if state.cancelled:
+                # LIMIT reached: drain the queue without dispatching.
+                state.tracker.dec()
+                continue
+
+            # Lines 28-33: a pointer without partition information is
+            # replicated to all nodes' queues, marked LOCAL.
+            if (isinstance(payload, (Pointer, PointerRange))
+                    and payload.partition_key is None
+                    and not item.local_only):
+                for other in range(self.cluster.num_nodes):
+                    state.tracker.inc()
+                    state.queues[other].put(_StageInput(
+                        item.stage, payload, item.context,
+                        local_only=True))                # line 31 BROADCAST
+                state.tracker.dec()
+                continue                                 # line 32
+
+            function = job.function_at(item.stage)       # line 34
+            if function is None:                         # lines 36-38
+                # Past the final stage: the record is a job output.  (The
+                # pseudocode drops it; a real engine keeps it.)
+                if isinstance(payload, Record):
+                    state.results.append(OutputRow(payload, item.context))
+                    if (state.limit is not None
+                            and len(state.results) >= state.limit):
+                        state.cancelled = True
+                state.tracker.dec()
+                continue
+
+            if isinstance(function, Referencer):
+                if self.config.inline_referencers:
+                    # Optimization: "ReDe does not switch threads for
+                    # Referencers by default".
+                    self._run_referencer_inline(state, node_id, function,
+                                                item)
+                else:
+                    self.cluster.launch(
+                        self._execute_referencer(state, node_id, function,
+                                                 item),
+                        name=f"ref@{node_id}")
+            else:
+                # Line 39: "create if func is Dereferencer" — every
+                # dereference invocation gets its own pooled thread.
+                self.cluster.launch(
+                    self._execute_dereferencer(state, node_id, function,
+                                               item),
+                    name=f"deref@{node_id}")
+
+    # -- function execution (EXECUTEFUNC, lines 43-52) -------------------
+
+    def _run_referencer_inline(self, state: "_RunState", node_id: int,
+                               function: Referencer,
+                               item: _StageInput) -> None:
+        if not isinstance(item.payload, Record):
+            raise ExecutionError(
+                f"stage {item.stage} expects records, got "
+                f"{type(item.payload).__name__}")
+        state.metrics.count_invocation(item.stage)
+        for pointer, context in function.reference(item.payload,
+                                                   item.context):
+            self._enqueue(state, node_id,
+                          _StageInput(item.stage + 1, pointer, context))
+        state.tracker.dec()
+
+    def _execute_referencer(self, state: "_RunState", node_id: int,
+                            function: Referencer, item: _StageInput):
+        pool = state.pools[node_id]
+        yield pool.request()
+        try:
+            # Dispatching to a pool thread pays the context switch the
+            # inline optimization avoids.
+            yield from self.cluster.node(node_id).compute(
+                self.config.thread_switch_time)
+            self._run_referencer_inline(state, node_id, function, item)
+        finally:
+            pool.release()
+
+    def _execute_dereferencer(self, state: "_RunState", node_id: int,
+                              function: Dereferencer, item: _StageInput):
+        pool = state.pools[node_id]
+        yield pool.request()                             # line 44
+        try:
+            if state.cancelled:
+                return
+            target = item.payload
+            if not isinstance(target, (Pointer, PointerRange)):
+                raise ExecutionError(
+                    f"stage {item.stage} expects pointers, got "
+                    f"{type(target).__name__}")
+            file = self.catalog.resolve(function.file_name)
+            pids = resolve_partitions(file, target, executing_node=node_id,
+                                      local_only=item.local_only)
+            for pid in pids:
+                records = yield from simulated_dereference(   # line 45
+                    self.cluster, self.config, state.metrics, item.stage,
+                    function, file, target, pid, node_id, item.context)
+                for record in records:                   # lines 47-51
+                    self._enqueue(state, node_id, _StageInput(
+                        item.stage + 1, record, item.context))
+        finally:
+            pool.release()
+            state.tracker.dec()
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _enqueue(self, state: "_RunState", node_id: int,
+                 item: _StageInput) -> None:
+        """ENQUE(queue, new_input): register the task, then queue it."""
+        state.tracker.inc()
+        state.queues[node_id].put(item)
+
+
+@dataclass
+class _RunState:
+    """Everything one SMPE run shares across its simulated processes."""
+
+    job: Job
+    metrics: ExecutionMetrics
+    results: list[OutputRow]
+    tracker: _TaskTracker
+    queues: list[Store]
+    pools: list[Resource]
+    #: LIMIT: stop dispatching once this many output rows exist
+    limit: Optional[int] = None
+    cancelled: bool = False

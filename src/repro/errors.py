@@ -1,0 +1,69 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch a single base class.  Sub-hierarchies
+mirror the package layout: simulation, storage, core (job definition), and
+engine (execution) errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event simulator errors."""
+
+
+class SimulationDeadlock(SimulationError):
+    """Raised when ``run()`` is asked to wait on an event that can never fire.
+
+    The event heap drained while at least one process was still waiting; with
+    no external event sources, simulated time can no longer advance.
+    """
+
+
+class StorageError(ReproError):
+    """Base class for storage-layer errors."""
+
+
+class PartitionError(StorageError):
+    """A partition id or partition key was invalid for the target file."""
+
+
+class RecordNotFound(StorageError):
+    """A pointer did not resolve to a record."""
+
+
+class DuplicateKey(StorageError):
+    """A unique key was inserted twice into a structure that forbids it."""
+
+
+class CatalogError(ReproError):
+    """Base class for structure-catalog errors."""
+
+
+class UnknownStructure(CatalogError):
+    """A structure (file or index) name was not found in the catalog."""
+
+
+class AccessMethodError(CatalogError):
+    """An access-method definition was malformed or conflicted with another."""
+
+
+class JobDefinitionError(ReproError):
+    """A Reference-Dereference job failed validation.
+
+    Raised when the function list does not alternate sensibly, references an
+    unknown structure, or has mismatched stage wiring.
+    """
+
+
+class ExecutionError(ReproError):
+    """A job failed while executing on one of the engines."""
+
+
+class DataGenerationError(ReproError):
+    """A synthetic dataset generator received inconsistent parameters."""

@@ -1,0 +1,26 @@
+"""Workload definitions: TPC-H Q5' (Figure 7) and the insurance-claims
+case-study queries Q1-Q3 (Figure 9)."""
+
+from repro.queries.claims_queries import (
+    CASE_STUDY_QUERIES,
+    ClaimsLake,
+    sum_expenses,
+)
+from repro.queries.tpch_q5 import (
+    DEFAULT_REGION,
+    TpchWorkload,
+    canonical_q5_rows_rede,
+    canonical_q5_rows_scan,
+    q5_revenue_by_nation,
+)
+
+__all__ = [
+    "CASE_STUDY_QUERIES",
+    "ClaimsLake",
+    "sum_expenses",
+    "DEFAULT_REGION",
+    "TpchWorkload",
+    "canonical_q5_rows_rede",
+    "canonical_q5_rows_scan",
+    "q5_revenue_by_nation",
+]

@@ -1,0 +1,46 @@
+"""Storage substrate: partitioners, B+trees, heap files, the I/O abstraction
+(``PartitionedFile``/``BtreeFile``), the simple DFS, and the HDFS-like block
+store."""
+
+from repro.storage.blockstore import Block, BlockStore
+from repro.storage.btree import BPlusTree
+from repro.storage.dfs import DistributedFileSystem
+from repro.storage.files import (
+    BtreeFile,
+    File,
+    IndexEntry,
+    PartitionedFile,
+    round_robin_placement,
+)
+from repro.storage.heapfile import HeapFile
+from repro.storage.persist import DatasetCache, load_records, \
+    save_records
+from repro.storage.stats import EquiDepthHistogram, build_index_histogram
+from repro.storage.partitioner import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    stable_hash,
+)
+
+__all__ = [
+    "Block",
+    "BlockStore",
+    "BPlusTree",
+    "DistributedFileSystem",
+    "BtreeFile",
+    "File",
+    "IndexEntry",
+    "PartitionedFile",
+    "round_robin_placement",
+    "HeapFile",
+    "DatasetCache",
+    "EquiDepthHistogram",
+    "build_index_histogram",
+    "load_records",
+    "save_records",
+    "HashPartitioner",
+    "Partitioner",
+    "RangePartitioner",
+    "stable_hash",
+]

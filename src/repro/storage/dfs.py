@@ -1,0 +1,234 @@
+"""The "simple distributed file system" used by ReDe.
+
+Paper, Section III-E: "For ReDe, we created a simple distributed file system
+for the experiments and used it instead of HDFS since HDFS is not
+well-optimized for non-scan accesses such as lookups.  We loaded the files
+into the distributed file system, which distributed the files into 128
+partitions evenly spread into the nodes by hashing with their primary keys.
+We also created local secondary indexes on the date columns ... and global
+indexes for each foreign key".
+
+:class:`DistributedFileSystem` is that namespace: it owns
+:class:`~repro.storage.files.PartitionedFile` base files and
+:class:`~repro.storage.files.BtreeFile` indexes, remembers how each base
+file was keyed (the seed of the access-method registration that
+:mod:`repro.core.catalog` formalizes), and can derive local and global
+secondary indexes from key-extractor functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional
+
+from repro.core.pointers import PointerKind
+from repro.core.records import Record
+from repro.errors import StorageError, UnknownStructure
+from repro.storage.files import (
+    BtreeFile,
+    File,
+    IndexEntry,
+    PartitionedFile,
+)
+from repro.storage.partitioner import HashPartitioner, Partitioner
+
+__all__ = ["DistributedFileSystem", "LoaderInfo"]
+
+KeyFn = Callable[[Record], Any]
+
+
+@dataclass
+class LoaderInfo:
+    """How a base file's records were keyed at load time."""
+
+    partition_key_fn: KeyFn
+    key_fn: KeyFn
+
+
+class DistributedFileSystem:
+    """A namespace of partitioned files and B-tree indexes over a cluster."""
+
+    def __init__(self, num_nodes: int,
+                 default_partitions: Optional[int] = None) -> None:
+        if num_nodes < 1:
+            raise StorageError("DFS needs at least one node")
+        self.num_nodes = num_nodes
+        self.default_partitions = default_partitions or num_nodes
+        self._files: dict[str, File] = {}
+        self._loaders: dict[str, LoaderInfo] = {}
+
+    # -- namespace -------------------------------------------------------
+
+    def add(self, file: File) -> File:
+        if file.name in self._files:
+            raise StorageError(f"structure {file.name!r} already exists")
+        self._files[file.name] = file
+        return file
+
+    def get(self, name: str) -> File:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise UnknownStructure(f"no structure named {name!r}") from None
+
+    def get_base(self, name: str) -> PartitionedFile:
+        file = self.get(name)
+        if not isinstance(file, PartitionedFile):
+            raise StorageError(f"{name!r} is not a base file")
+        return file
+
+    def get_index(self, name: str) -> BtreeFile:
+        file = self.get(name)
+        if not isinstance(file, BtreeFile):
+            raise StorageError(f"{name!r} is not a B-tree index")
+        return file
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._files
+
+    def names(self) -> list[str]:
+        return sorted(self._files)
+
+    def drop(self, name: str) -> None:
+        if name not in self._files:
+            raise UnknownStructure(f"no structure named {name!r}")
+        del self._files[name]
+        self._loaders.pop(name, None)
+
+    # -- base files ------------------------------------------------------
+
+    def create_file(self, name: str,
+                    num_partitions: Optional[int] = None,
+                    partitioner: Optional[Partitioner] = None
+                    ) -> PartitionedFile:
+        """Create an empty hash-partitioned base file."""
+        if partitioner is None:
+            partitioner = HashPartitioner(
+                num_partitions or self.default_partitions)
+        file = PartitionedFile(name, partitioner, num_nodes=self.num_nodes)
+        self.add(file)
+        return file
+
+    def load(self, name: str, records: Iterable[Record],
+             partition_key_fn: KeyFn,
+             key_fn: Optional[KeyFn] = None,
+             num_partitions: Optional[int] = None) -> PartitionedFile:
+        """Create a base file and load records into it.
+
+        ``partition_key_fn`` extracts the partitioning key from each record
+        (the primary key, in the paper's layout); ``key_fn`` the in-partition
+        key (defaults to the partition key).  The extractors are remembered
+        so that index builds can reconstruct pointers to base records.
+        """
+        key_fn = key_fn or partition_key_fn
+        file = self.create_file(name, num_partitions=num_partitions)
+        for record in records:
+            file.insert(record, partition_key_fn(record), key_fn(record))
+        self._loaders[name] = LoaderInfo(partition_key_fn, key_fn)
+        return file
+
+    def loader_info(self, name: str) -> LoaderInfo:
+        try:
+            return self._loaders[name]
+        except KeyError:
+            raise StorageError(
+                f"no loader info for {name!r}; load it through "
+                "DistributedFileSystem.load") from None
+
+    # -- indexes ---------------------------------------------------------
+
+    def build_global_index(self, index_name: str, base_name: str,
+                           index_key_fn: KeyFn,
+                           num_partitions: Optional[int] = None,
+                           order: int = 64,
+                           partitioner: Optional[Partitioner] = None
+                           ) -> BtreeFile:
+        """Build a global secondary index, partitioned by the index key.
+
+        The paper builds one per foreign key: "global indexes for each
+        foreign key of each file.  Each global index is also distributed
+        into partitions by the corresponding foreign key."  Pass a
+        :class:`~repro.storage.partitioner.RangePartitioner` to make range
+        probes prunable to the overlapping partitions.
+        """
+        return self._build_index(index_name, base_name, index_key_fn,
+                                 scope="global",
+                                 num_partitions=num_partitions, order=order,
+                                 partitioner=partitioner)
+
+    def build_replicated_index(self, index_name: str, base_name: str,
+                               index_key_fn: KeyFn,
+                               order: int = 64) -> BtreeFile:
+        """Build a fully replicated index: one complete copy per node.
+
+        The FRI scheme of the taxonomy the paper cites: probes are always
+        node-local (no cross-node index traffic), at the cost of N-fold
+        build/maintenance work and capacity.
+        """
+        return self._build_index(index_name, base_name, index_key_fn,
+                                 scope="replicated", num_partitions=None,
+                                 order=order)
+
+    def build_local_index(self, index_name: str, base_name: str,
+                          index_key_fn: KeyFn,
+                          order: int = 64) -> BtreeFile:
+        """Build a local secondary index, colocated with base partitions.
+
+        The paper builds these on date columns (e.g. ``o_orderdate``); range
+        probes visit every partition, each node handling its local ones.
+        """
+        return self._build_index(index_name, base_name, index_key_fn,
+                                 scope="local", num_partitions=None,
+                                 order=order)
+
+    def _build_index(self, index_name: str, base_name: str,
+                     index_key_fn: KeyFn, scope: str,
+                     num_partitions: Optional[int], order: int,
+                     partitioner: Optional[Partitioner] = None) -> BtreeFile:
+        base = self.get_base(base_name)
+        loader = self.loader_info(base_name)
+        if scope == "local":
+            # Local index partitions mirror the base file exactly, entry
+            # placement included, so it reuses the base partitioner.
+            partitioner = base.partitioner
+            placement = [base.node_of(pid)
+                         for pid in range(base.num_partitions)]
+            index = BtreeFile(index_name, partitioner, placement=placement,
+                              scope="local", order=order)
+        elif scope == "replicated":
+            # One replica partition per node, placed on that node.
+            partitioner = HashPartitioner(self.num_nodes)
+            index = BtreeFile(index_name, partitioner,
+                              placement=list(range(self.num_nodes)),
+                              scope="replicated", order=order)
+        else:
+            if partitioner is None:
+                partitioner = HashPartitioner(
+                    num_partitions or self.default_partitions)
+            index = BtreeFile(index_name, partitioner,
+                              num_nodes=self.num_nodes, scope="global",
+                              order=order)
+        entries = []
+        # Entries address base records *physically* (partition-routing key
+        # + slot), so each resolves to exactly the record that produced it
+        # even when the base file's logical key is non-unique.
+        for pid, heap in enumerate(base.partitions):
+            for slot, record in enumerate(heap.scan()):
+                keys = index_key_fn(record)
+                if keys is None:
+                    # schema-on-read: records missing the key are skipped
+                    continue
+                if not isinstance(keys, list):
+                    keys = [keys]
+                base_partition_key = loader.partition_key_fn(record)
+                for index_key in keys:
+                    entry = IndexEntry(index_key, base_partition_key, slot,
+                                       kind=PointerKind.PHYSICAL)
+                    # Local entries colocate with the base partition;
+                    # global entries partition by the index key itself.
+                    placement_key = (base_partition_key if scope == "local"
+                                     else index_key)
+                    entries.append((index_key, entry, placement_key))
+        index.bulk_build(entries)
+        self.add(index)
+        return index

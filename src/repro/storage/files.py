@@ -1,0 +1,327 @@
+"""Concrete implementations of the paper's I/O abstraction.
+
+Section III-B defines three basic interfaces — *Record*, *Pointer*, *File* —
+plus the special *BtreeFile*:
+
+* :class:`PartitionedFile` — "a set of *Records* composes a *File*.  *File*
+  is assumed to be distributed into partitions and can locate a *Record*
+  with the corresponding *Pointer*."
+* :class:`BtreeFile` — "can also locate a set of *Records* with a range of
+  given *Pointers*."
+
+Both carry a *placement* (partition id → node id) so the engines can charge
+disk IO on the owning node and network transfer for cross-partition access.
+The storage layer itself is synchronous and time-free: virtual time is the
+engines' job.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Any, Iterable, Iterator, Optional, Sequence
+
+from repro.core.pointers import Pointer, PointerKind, PointerRange
+from repro.core.records import Record
+from repro.errors import PartitionError, StorageError
+from repro.storage.btree import BPlusTree
+from repro.storage.heapfile import HeapFile
+from repro.storage.partitioner import HashPartitioner, Partitioner
+
+__all__ = ["File", "PartitionedFile", "BtreeFile", "IndexEntry",
+           "round_robin_placement"]
+
+#: Field names of the index-entry record convention (see :func:`IndexEntry`).
+TARGET_PARTITION_FIELD = "target_partition_key"
+TARGET_KEY_FIELD = "target_key"
+TARGET_KIND_FIELD = "target_kind"
+INDEX_KEY_FIELD = "key"
+
+
+def IndexEntry(index_key: Any, target_partition_key: Any,
+               target_key: Any, kind: PointerKind = PointerKind.LOGICAL,
+               **extra: Any) -> Record:
+    """Build an index-entry record pointing into a base file.
+
+    Paper, Section III-B/Fig. 4: dereferencing a B-tree index yields records
+    that "consist of logical pointers of the Part file" — and a *Pointer*
+    may equally be "physical (e.g., file offset)".  The convention used
+    throughout this library is a mapping record with the index key, the base
+    file's partition key (always logical — it routes through the
+    partitioner), the in-partition target (a record key, or a physical slot
+    for ``kind=PHYSICAL``), optionally widened with included columns
+    (covering-index style).
+
+    Secondary indexes built by the DFS use **physical** targets so an entry
+    resolves to exactly the record that produced it, even when the base
+    file's logical key is non-unique (e.g. lineitem keyed by l_orderkey).
+    """
+    data = {INDEX_KEY_FIELD: index_key,
+            TARGET_PARTITION_FIELD: target_partition_key,
+            TARGET_KEY_FIELD: target_key}
+    if kind is not PointerKind.LOGICAL:
+        data[TARGET_KIND_FIELD] = kind.value
+    data.update(extra)
+    return Record(data)
+
+
+def round_robin_placement(num_partitions: int,
+                          num_nodes: int) -> list[int]:
+    """Default placement: partition ``i`` lives on node ``i % num_nodes``."""
+    if num_nodes < 1:
+        raise PartitionError("placement needs at least one node")
+    return [i % num_nodes for i in range(num_partitions)]
+
+
+class File(abc.ABC):
+    """Shared behaviour of partition-distributed structures."""
+
+    def __init__(self, name: str, partitioner: Partitioner,
+                 placement: Sequence[int]) -> None:
+        if len(placement) != partitioner.num_partitions:
+            raise PartitionError(
+                f"placement has {len(placement)} entries for "
+                f"{partitioner.num_partitions} partitions")
+        self.name = name
+        self.partitioner = partitioner
+        self._placement = list(placement)
+
+    @property
+    def num_partitions(self) -> int:
+        return self.partitioner.num_partitions
+
+    def partition_of_key(self, partition_key: Any) -> int:
+        """Partition id owning ``partition_key``."""
+        return self.partitioner.partition(partition_key)
+
+    def node_of(self, partition_id: int) -> int:
+        """Node hosting partition ``partition_id``."""
+        self.partitioner.validate(partition_id)
+        return self._placement[partition_id]
+
+    def node_of_key(self, partition_key: Any) -> int:
+        return self.node_of(self.partition_of_key(partition_key))
+
+    def partitions_on_node(self, node_id: int) -> list[int]:
+        """Partition ids placed on ``node_id``."""
+        return [pid for pid, node in enumerate(self._placement)
+                if node == node_id]
+
+    @abc.abstractmethod
+    def lookup(self, pointer: Pointer) -> list[Record]:
+        """Locate the record(s) a pointer refers to."""
+
+
+class PartitionedFile(File):
+    """A hash/range-partitioned record file — ReDe's base-table storage.
+
+    Records are inserted with an explicit partition key (e.g. the primary
+    key for TPC-H base files) and an in-partition key; both default
+    sensibly for the common primary-key layout where the two coincide.
+    """
+
+    def __init__(self, name: str, partitioner: Partitioner,
+                 placement: Optional[Sequence[int]] = None,
+                 num_nodes: Optional[int] = None) -> None:
+        if placement is None:
+            if num_nodes is None:
+                raise PartitionError(
+                    "PartitionedFile needs either a placement or num_nodes")
+            placement = round_robin_placement(partitioner.num_partitions,
+                                              num_nodes)
+        super().__init__(name, partitioner, placement)
+        self.partitions = [HeapFile(name=f"{name}[{pid}]")
+                           for pid in range(self.num_partitions)]
+
+    # -- writes ----------------------------------------------------------
+
+    def insert(self, record: Record, partition_key: Any,
+               key: Optional[Any] = None) -> Pointer:
+        """Insert a record; returns a logical pointer to it.
+
+        ``key`` defaults to ``partition_key`` — the paper's layout for base
+        files hash-partitioned by primary key.
+        """
+        if key is None:
+            key = partition_key
+        pid = self.partition_of_key(partition_key)
+        self.partitions[pid].append(record, key=key)
+        return Pointer(self.name, partition_key, key, PointerKind.LOGICAL)
+
+    # -- reads -----------------------------------------------------------
+
+    def lookup(self, pointer: Pointer) -> list[Record]:
+        """Resolve a (non-broadcast) pointer to its record(s)."""
+        if pointer.file != self.name:
+            raise StorageError(
+                f"pointer targets {pointer.file!r}, not {self.name!r}")
+        if pointer.is_broadcast:
+            raise StorageError(
+                "broadcast pointers are materialized by the engine before "
+                "reaching storage")
+        pid = self.partition_of_key(pointer.partition_key)
+        return self.lookup_in_partition(pid, pointer)
+
+    def lookup_in_partition(self, partition_id: int,
+                            pointer: Pointer) -> list[Record]:
+        """Resolve a pointer against one specific partition.
+
+        Used both for normal lookups (partition derived from the pointer)
+        and for broadcast pointers replicated to every partition.
+        """
+        heap = self.partitions[self.partitioner.validate(partition_id)]
+        if pointer.kind is PointerKind.PHYSICAL:
+            return [heap.get(pointer.key)]
+        return heap.lookup(pointer.key)
+
+    def scan_partition(self, partition_id: int) -> Iterator[Record]:
+        heap = self.partitions[self.partitioner.validate(partition_id)]
+        return heap.scan()
+
+    def scan(self) -> Iterator[Record]:
+        """Full scan across all partitions, in partition order."""
+        for heap in self.partitions:
+            yield from heap.scan()
+
+    def __len__(self) -> int:
+        return sum(len(heap) for heap in self.partitions)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(heap.total_bytes for heap in self.partitions)
+
+    def partition_bytes(self, partition_id: int) -> int:
+        return self.partitions[self.partitioner.validate(partition_id)].total_bytes
+
+    @property
+    def avg_record_bytes(self) -> float:
+        count = len(self)
+        return self.total_bytes / count if count else 0.0
+
+
+class BtreeFile(File):
+    """A partitioned B-tree structure — ReDe's index storage.
+
+    The distinction between a *local* and a *global* secondary index (paper
+    Section III-E) is purely one of partitioning:
+
+    * **global**: partitioned by the *index key* itself (``scope='global'``),
+      so an equality probe visits exactly one partition;
+    * **local**: partition ``i`` of the index holds entries for partition
+      ``i`` of the base file (``scope='local'``), so a probe must visit all
+      partitions — each node probes its local ones;
+    * **replicated**: every node holds a full copy (partition ``i`` is the
+      replica on node ``i``), the FRI scheme of the Taniar & Rahayu
+      taxonomy the paper cites — probes are always node-local, writes
+      amplify by the node count.
+    """
+
+    def __init__(self, name: str, partitioner: Partitioner,
+                 placement: Optional[Sequence[int]] = None,
+                 num_nodes: Optional[int] = None,
+                 scope: str = "global",
+                 order: int = 64) -> None:
+        if scope not in ("global", "local", "replicated"):
+            raise StorageError(
+                f"index scope must be global|local|replicated: {scope}")
+        if placement is None:
+            if num_nodes is None:
+                raise PartitionError(
+                    "BtreeFile needs either a placement or num_nodes")
+            placement = round_robin_placement(partitioner.num_partitions,
+                                              num_nodes)
+        super().__init__(name, partitioner, placement)
+        self.scope = scope
+        self.order = order
+        self.trees = [BPlusTree(order=order)
+                      for __ in range(self.num_partitions)]
+
+    # -- writes ----------------------------------------------------------
+
+    def insert(self, index_key: Any, entry: Record,
+               partition_key: Optional[Any] = None) -> None:
+        """Insert an index entry.
+
+        For a global index, ``partition_key`` defaults to the index key
+        (that is what *makes* it global).  For a local index the caller must
+        pass the *base file's* partition key so the entry is colocated.
+        """
+        if self.scope == "replicated":
+            # Full replication: the entry lands in every node's copy.
+            for tree in self.trees:
+                tree.insert(index_key, entry)
+            return
+        if partition_key is None:
+            if self.scope == "local":
+                raise StorageError(
+                    "local index inserts need the base partition key")
+            partition_key = index_key
+        pid = self.partition_of_key(partition_key)
+        self.trees[pid].insert(index_key, entry)
+
+    def bulk_build(self, entries: Iterable[tuple[Any, Record, Any]],
+                   fill: float = 0.9) -> None:
+        """(Re)build all partitions from ``(index_key, entry,
+        partition_key)`` triples using sorted bulk loading."""
+        entries = list(entries)
+        buckets: list[list[tuple[Any, Record]]] = [
+            [] for __ in range(self.num_partitions)]
+        for index_key, entry, partition_key in entries:
+            if self.scope == "replicated":
+                for bucket in buckets:
+                    bucket.append((index_key, entry))
+                continue
+            pid = self.partition_of_key(partition_key)
+            buckets[pid].append((index_key, entry))
+        for pid, bucket in enumerate(buckets):
+            bucket.sort(key=lambda pair: pair[0])
+            self.trees[pid] = BPlusTree.bulk_load(bucket, order=self.order,
+                                                  fill=fill)
+
+    # -- reads -----------------------------------------------------------
+
+    def lookup(self, pointer: Pointer) -> list[Record]:
+        """Equality probe by a pointer whose key is the index key."""
+        if pointer.is_broadcast:
+            raise StorageError(
+                "broadcast pointers are materialized by the engine before "
+                "reaching storage")
+        pid = self.partition_of_key(pointer.partition_key)
+        return self.lookup_in_partition(pid, pointer)
+
+    def lookup_in_partition(self, partition_id: int,
+                            pointer: Pointer) -> list[Record]:
+        tree = self.trees[self.partitioner.validate(partition_id)]
+        return tree.search(pointer.key)
+
+    def range_lookup(self, pointer_range: PointerRange,
+                     partition_id: int) -> list[Record]:
+        """Range probe of one partition ("a set of *Records* with a range of
+        given *Pointers*")."""
+        tree = self.trees[self.partitioner.validate(partition_id)]
+        return [entry for __, entry in tree.range(
+            pointer_range.low, pointer_range.high,
+            inclusive_low=pointer_range.inclusive_low,
+            inclusive_high=pointer_range.inclusive_high)]
+
+    def probe_io_count(self, num_results: int) -> int:
+        """Random reads charged for one probe returning ``num_results``.
+
+        Inner nodes are assumed cached (they are tiny and hot); the probe
+        pays one read for the first leaf plus one per additional leaf the
+        result set spans.
+        """
+        leaf_capacity = max(1, self.order - 1)
+        return 1 + max(0, math.ceil(num_results / leaf_capacity) - 1)
+
+    def __len__(self) -> int:
+        return sum(len(tree) for tree in self.trees)
+
+    @property
+    def total_bytes(self) -> int:
+        """Approximate size: every entry record plus per-entry key overhead."""
+        total = 0
+        for tree in self.trees:
+            for __, entry in tree.items():
+                total += entry.size_bytes + 16
+        return total

@@ -1,0 +1,65 @@
+"""A per-partition record heap with slot addressing and a primary-key map.
+
+One :class:`HeapFile` holds one partition of a
+:class:`~repro.storage.files.PartitionedFile`.  Records get monotonically
+increasing *slots* (the physical-pointer address space); an optional
+in-partition key map supports logical pointers ("a *File* ... locates a
+*Record* with an in-partition key", paper Section III-B).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.core.records import Record
+from repro.errors import RecordNotFound
+
+__all__ = ["HeapFile"]
+
+
+class HeapFile:
+    """An append-only heap of records for a single partition."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._records: list[Record] = []
+        self._key_map: dict[Any, list[int]] = {}
+        self.total_bytes = 0
+
+    def append(self, record: Record, key: Optional[Any] = None) -> int:
+        """Store ``record``; returns its slot.
+
+        With ``key`` given, the record also becomes addressable logically;
+        duplicate keys accumulate (heap files do not enforce uniqueness —
+        that is an index concern).
+        """
+        slot = len(self._records)
+        self._records.append(record)
+        self.total_bytes += record.size_bytes
+        if key is not None:
+            self._key_map.setdefault(key, []).append(slot)
+        return slot
+
+    def get(self, slot: int) -> Record:
+        """Fetch by physical slot."""
+        if not 0 <= slot < len(self._records):
+            raise RecordNotFound(
+                f"slot {slot} out of range in heap {self.name!r}")
+        return self._records[slot]
+
+    def lookup(self, key: Any) -> list[Record]:
+        """Fetch all records stored under an in-partition key."""
+        return [self._records[slot] for slot in self._key_map.get(key, [])]
+
+    def contains_key(self, key: Any) -> bool:
+        return key in self._key_map
+
+    def scan(self) -> Iterator[Record]:
+        """Iterate every record in slot order."""
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HeapFile({self.name!r}, records={len(self)})"

@@ -1,0 +1,130 @@
+"""Dataset persistence: JSON-lines record files and a generation cache.
+
+The lake stores *raw* records, and raw records are what is worth
+persisting: structures are derived (the catalog rebuilds them from
+registered access methods), but generated datasets are expensive to make
+and must be byte-identical across benchmark runs.
+
+* :func:`save_records` / :func:`load_records` — one JSON value per line;
+  mapping payloads round-trip as mappings, text payloads as text.
+* :class:`DatasetCache` — memoizes ``generate()`` calls on disk, keyed by
+  a caller-supplied name and parameter dict, so repeated benchmark runs
+  skip regeneration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import Any, Callable, Iterable, Mapping, Optional, Union
+
+from repro.core.records import Record
+from repro.errors import StorageError
+
+__all__ = ["save_records", "load_records", "DatasetCache"]
+
+_TEXT_KEY = "__text__"
+
+
+def _encode(record: Record) -> str:
+    data = record.data
+    if isinstance(data, str):
+        return json.dumps({_TEXT_KEY: data}, ensure_ascii=False)
+    if isinstance(data, Mapping):
+        if _TEXT_KEY in data:
+            raise StorageError(
+                f"mapping payloads may not use the reserved key "
+                f"{_TEXT_KEY!r}")
+        return json.dumps(dict(data), ensure_ascii=False, sort_keys=True)
+    raise StorageError(
+        f"only mapping and text payloads persist; got "
+        f"{type(data).__name__}")
+
+
+def _decode(line: str) -> Record:
+    data = json.loads(line)
+    if isinstance(data, dict) and set(data) == {_TEXT_KEY}:
+        return Record(data[_TEXT_KEY])
+    return Record(data)
+
+
+def save_records(path: Union[str, pathlib.Path],
+                 records: Iterable[Record]) -> int:
+    """Write records to ``path`` as JSON lines; returns the count."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(_encode(record))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_records(path: Union[str, pathlib.Path]) -> list[Record]:
+    """Read records back from a JSON-lines file."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise StorageError(f"no dataset file at {path}")
+    records = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(_decode(line))
+    return records
+
+
+class DatasetCache:
+    """Disk memoization of dataset generation.
+
+    Example::
+
+        cache = DatasetCache("~/.cache/repro")
+        claims = cache.get_or_generate(
+            "claims", {"n": 20000, "seed": 9},
+            lambda: ClaimsGenerator(num_claims=20000, seed=9).generate())
+
+    Note: JSON round-trips lose non-JSON scalar types (tuples become
+    lists); the built-in generators only emit JSON-safe payloads.
+    """
+
+    def __init__(self, directory: Union[str, pathlib.Path]) -> None:
+        self.directory = pathlib.Path(directory).expanduser()
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path_for(self, name: str, params: Mapping[str, Any]) -> pathlib.Path:
+        digest = hashlib.sha256(
+            json.dumps(dict(params), sort_keys=True).encode()).hexdigest()
+        return self.directory / f"{name}-{digest[:16]}.jsonl"
+
+    def get_or_generate(self, name: str, params: Mapping[str, Any],
+                        generate: Callable[[], Iterable[Record]]
+                        ) -> list[Record]:
+        """Return the cached dataset, generating and storing it on miss."""
+        path = self._path_for(name, params)
+        if path.exists():
+            return load_records(path)
+        records = list(generate())
+        save_records(path, records)
+        return records
+
+    def contains(self, name: str, params: Mapping[str, Any]) -> bool:
+        return self._path_for(name, params).exists()
+
+    def invalidate(self, name: str,
+                   params: Optional[Mapping[str, Any]] = None) -> int:
+        """Drop cached entries; all of ``name``'s when params is None."""
+        removed = 0
+        if params is not None:
+            path = self._path_for(name, params)
+            if path.exists():
+                path.unlink()
+                removed = 1
+            return removed
+        for path in self.directory.glob(f"{name}-*.jsonl"):
+            path.unlink()
+            removed += 1
+        return removed

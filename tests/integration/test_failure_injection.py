@@ -1,0 +1,173 @@
+"""Failure injection: engines fail loudly and precisely, never silently.
+
+Covers user-code faults (raising interpreters/filters/referencers),
+structural faults (unknown structures, type-confused stages), and runtime
+guards (simulation time limits).
+"""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.config import EngineConfig
+from repro.core import (
+    FileLookupDereferencer,
+    FunctionReferencer,
+    IndexRangeDereferencer,
+    JobBuilder,
+    MappingInterpreter,
+    Pointer,
+    PointerRange,
+    PredicateFilter,
+    Record,
+    StructureCatalog,
+)
+from repro.engine import ReDeExecutor
+from repro.errors import (
+    ExecutionError,
+    JobDefinitionError,
+    SimulationError,
+    UnknownStructure,
+)
+from repro.storage import DistributedFileSystem
+
+INTERP = MappingInterpreter()
+NUM_NODES = 2
+
+
+@pytest.fixture
+def catalog():
+    dfs = DistributedFileSystem(num_nodes=NUM_NODES)
+    catalog = StructureCatalog(dfs)
+    catalog.register_file("t", [Record({"pk": i, "v": i % 3})
+                                for i in range(30)],
+                          lambda r: r["pk"])
+    return catalog
+
+
+def simple_job(filter=None, file="t"):
+    builder = JobBuilder("probe").dereference(
+        FileLookupDereferencer(file, filter=filter))
+    for key in range(5):
+        builder.input(Pointer(file, key, key))
+    return builder.build()
+
+
+@pytest.mark.parametrize("mode", ["reference", "smpe", "partitioned"])
+class TestUserCodeFaults:
+    def make_executor(self, catalog, mode):
+        cluster = (Cluster(ClusterSpec(num_nodes=NUM_NODES))
+                   if mode != "reference" else None)
+        return ReDeExecutor(cluster, catalog, mode=mode)
+
+    def test_raising_filter_propagates(self, catalog, mode):
+        def explode(record, context):
+            raise ValueError("boom in filter")
+
+        executor = self.make_executor(catalog, mode)
+        with pytest.raises(ValueError, match="boom in filter"):
+            executor.execute(simple_job(filter=PredicateFilter(explode)))
+
+    def test_raising_referencer_propagates(self, catalog, mode):
+        def explode(record, context):
+            raise RuntimeError("boom in referencer")
+            yield  # pragma: no cover - makes it a generator
+
+        job = (JobBuilder("bad")
+               .dereference(FileLookupDereferencer("t"))
+               .reference(FunctionReferencer(explode))
+               .dereference(FileLookupDereferencer("t"))
+               .input(Pointer("t", 1, 1))
+               .build())
+        executor = self.make_executor(catalog, mode)
+        with pytest.raises(RuntimeError, match="boom in referencer"):
+            executor.execute(job)
+
+    def test_unknown_structure_at_runtime(self, catalog, mode):
+        executor = self.make_executor(catalog, mode)
+        with pytest.raises(UnknownStructure):
+            executor.execute(simple_job(file="ghost"))
+
+    def test_referencer_emitting_record_not_pointer(self, catalog, mode):
+        """A referencer that emits records type-confuses the next stage."""
+
+        def emit_record(record, context):
+            yield record, context  # wrong: should be a pointer
+
+        job = (JobBuilder("confused")
+               .dereference(FileLookupDereferencer("t"))
+               .reference(FunctionReferencer(emit_record))
+               .dereference(FileLookupDereferencer("t"))
+               .input(Pointer("t", 1, 1))
+               .build())
+        executor = self.make_executor(catalog, mode)
+        with pytest.raises((ExecutionError, AttributeError)):
+            executor.execute(job)
+
+
+class TestStructuralFaults:
+    def test_range_probe_on_base_file_rejected(self, catalog):
+        job = (JobBuilder("bad")
+               .dereference(FileLookupDereferencer("t"))
+               .input(PointerRange("t", 0, 5))
+               .build())
+        executor = ReDeExecutor(None, catalog, mode="reference")
+        with pytest.raises(ExecutionError):
+            executor.execute(job)
+
+    def test_index_range_dereferencer_on_base_file_rejected(self, catalog):
+        job = (JobBuilder("bad")
+               .dereference(IndexRangeDereferencer("t"))
+               .input(PointerRange("t", 0, 5))
+               .build())
+        executor = ReDeExecutor(None, catalog, mode="reference")
+        with pytest.raises(JobDefinitionError):
+            executor.execute(job)
+
+
+class TestRuntimeGuards:
+    def test_max_time_aborts_runaway_job(self, catalog):
+        cluster = Cluster(ClusterSpec(num_nodes=NUM_NODES))
+        executor = ReDeExecutor(cluster, catalog, mode="smpe")
+        job = simple_job()
+        with pytest.raises(SimulationError):
+            executor.execute(job, max_time=1e-9)
+
+    def test_config_max_sim_time_is_the_default_guard(self, catalog):
+        cluster = Cluster(ClusterSpec(num_nodes=NUM_NODES))
+        config = EngineConfig(max_sim_time=1e-9)
+        executor = ReDeExecutor(cluster, catalog, config=config,
+                                mode="smpe")
+        with pytest.raises(SimulationError):
+            executor.execute(simple_job())
+
+    def test_empty_result_jobs_terminate(self, catalog):
+        """All-miss probes must still reach completion (no deadlock)."""
+        builder = JobBuilder("misses").dereference(
+            FileLookupDereferencer("t"))
+        for key in range(1000, 1005):
+            builder.input(Pointer("t", key, key))
+        for mode in ("reference", "smpe", "partitioned"):
+            cluster = (Cluster(ClusterSpec(num_nodes=NUM_NODES))
+                       if mode != "reference" else None)
+            result = ReDeExecutor(cluster, catalog, mode=mode).execute(
+                builder.build())
+            assert result.rows == []
+
+    def test_filter_rejecting_everything_terminates(self, catalog):
+        nothing = PredicateFilter(lambda r, c: False, name="reject-all")
+        for mode in ("smpe", "partitioned"):
+            cluster = Cluster(ClusterSpec(num_nodes=NUM_NODES))
+            result = ReDeExecutor(cluster, catalog, mode=mode).execute(
+                simple_job(filter=nothing))
+            assert result.rows == []
+            assert result.metrics.record_accesses == 5  # fetched, filtered
+
+    def test_single_node_cluster_works(self, catalog):
+        cluster = Cluster(ClusterSpec(num_nodes=1))
+        dfs = DistributedFileSystem(num_nodes=1)
+        catalog_one = StructureCatalog(dfs)
+        catalog_one.register_file(
+            "t", [Record({"pk": i}) for i in range(5)], lambda r: r["pk"])
+        result = ReDeExecutor(cluster, catalog_one, mode="smpe").execute(
+            simple_job())
+        assert len(result.rows) == 5

@@ -1,0 +1,120 @@
+"""Integration: LIMIT / early termination across engines.
+
+A real engine stops working once enough output exists; for SMPE that
+means cancelling the dynamically-discovered task pool mid-flight, which
+exercises the trickiest part of Algorithm 1's termination logic.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.core import (
+    AccessMethodDefinition,
+    ChainQuery,
+    MappingInterpreter,
+    Record,
+    StructureCatalog,
+)
+from repro.engine import ReDeExecutor
+from repro.storage import DistributedFileSystem
+
+INTERP = MappingInterpreter()
+NUM_NODES = 4
+NUM_RECORDS = 400
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    dfs = DistributedFileSystem(num_nodes=NUM_NODES)
+    catalog = StructureCatalog(dfs)
+    records = [Record({"pk": i, "attr": i % 10}) for i in range(NUM_RECORDS)]
+    catalog.register_file("t", records, lambda r: r["pk"])
+    catalog.register_access_method(AccessMethodDefinition(
+        name="idx_attr", base_file="t", interpreter=INTERP,
+        key_field="attr", scope="global"))
+    catalog.build_all()
+    return catalog
+
+
+def wide_job():
+    """Matches every record (attr 0..9)."""
+    return (ChainQuery("everything", interpreter=INTERP)
+            .from_index_range("idx_attr", 0, 9, base="t")
+            .build())
+
+
+@pytest.mark.parametrize("mode", ["reference", "smpe", "partitioned"])
+@pytest.mark.parametrize("limit", [1, 7, 50])
+def test_limit_respected(catalog, mode, limit):
+    cluster = (Cluster(ClusterSpec(num_nodes=NUM_NODES))
+               if mode != "reference" else None)
+    executor = ReDeExecutor(cluster, catalog, mode=mode)
+    result = executor.execute(wide_job(), limit=limit)
+    assert len(result.rows) == limit
+    # Rows must still be genuine records of t.
+    assert all(0 <= row.record["pk"] < NUM_RECORDS for row in result.rows)
+
+
+@pytest.mark.parametrize("mode", ["reference", "smpe", "partitioned"])
+def test_limit_larger_than_result_is_noop(catalog, mode):
+    cluster = (Cluster(ClusterSpec(num_nodes=NUM_NODES))
+               if mode != "reference" else None)
+    executor = ReDeExecutor(cluster, catalog, mode=mode)
+    full = executor.execute(wide_job())
+    limited = executor.execute(wide_job(), limit=10_000)
+    assert len(limited.rows) == len(full.rows) == NUM_RECORDS
+
+
+def test_limit_saves_work_and_time(catalog):
+    """Early termination must show up in both accesses and elapsed.
+
+    With a huge pool SMPE admits every task in the first instant and a
+    late LIMIT can cancel nothing — so this uses a small pool, where
+    queued (not yet admitted) tasks are cancellable.
+    """
+    from repro.config import EngineConfig
+
+    config = EngineConfig(thread_pool_size=4)
+    executor_full = ReDeExecutor(Cluster(ClusterSpec(num_nodes=NUM_NODES)),
+                                 catalog, config=config, mode="smpe")
+    full = executor_full.execute(wide_job())
+    executor_lim = ReDeExecutor(Cluster(ClusterSpec(num_nodes=NUM_NODES)),
+                                catalog, config=config, mode="smpe")
+    limited = executor_lim.execute(wide_job(), limit=5)
+    assert limited.metrics.record_accesses < full.metrics.record_accesses
+    assert (limited.metrics.elapsed_seconds
+            < full.metrics.elapsed_seconds)
+
+
+def test_limit_with_huge_pool_cancels_nothing_but_truncates(catalog):
+    """The flip side: once everything is in flight, LIMIT only truncates.
+
+    This documents real SMPE semantics — massive up-front parallelism
+    means a late LIMIT cannot un-launch work.
+    """
+    executor = ReDeExecutor(Cluster(ClusterSpec(num_nodes=NUM_NODES)),
+                            catalog, mode="smpe")
+    limited = executor.execute(wide_job(), limit=5)
+    assert len(limited.rows) == 5
+    # All fetches had already been admitted when the limit tripped.
+    assert limited.metrics.base_record_accesses == NUM_RECORDS
+
+
+def test_limit_saves_work_partitioned(catalog):
+    executor_full = ReDeExecutor(Cluster(ClusterSpec(num_nodes=NUM_NODES)),
+                                 catalog, mode="partitioned")
+    full = executor_full.execute(wide_job())
+    executor_lim = ReDeExecutor(Cluster(ClusterSpec(num_nodes=NUM_NODES)),
+                                catalog, mode="partitioned")
+    limited = executor_lim.execute(wide_job(), limit=5)
+    assert limited.metrics.record_accesses < full.metrics.record_accesses
+
+
+def test_limit_deterministic(catalog):
+    results = []
+    for __ in range(2):
+        executor = ReDeExecutor(Cluster(ClusterSpec(num_nodes=NUM_NODES)),
+                                catalog, mode="smpe")
+        result = executor.execute(wide_job(), limit=9)
+        results.append(sorted(r.record["pk"] for r in result.rows))
+    assert results[0] == results[1]

@@ -1,0 +1,130 @@
+"""Integration: TPC-H Q5' agrees across every engine and the naive join."""
+
+import pytest
+
+from repro.baselines import ScanEngine
+from repro.cluster import Cluster, ClusterSpec
+from repro.config import laptop_cluster_spec
+from repro.engine import ReDeExecutor
+from repro.queries import (
+    TpchWorkload,
+    canonical_q5_rows_rede,
+    canonical_q5_rows_scan,
+)
+
+SCALE = 0.001
+NUM_NODES = 4
+REGION = "ASIA"
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return TpchWorkload(scale_factor=SCALE, seed=3, num_nodes=NUM_NODES,
+                        block_size=64 * 1024)
+
+
+def naive_q5(tables, date_low, date_high, region):
+    """Straight-line nested loops over the raw tables."""
+    region_keys = {r["r_regionkey"] for r in tables["region"]
+                   if r["r_name"] == region}
+    nations = {r["n_nationkey"] for r in tables["nation"]
+               if r["n_regionkey"] in region_keys}
+    customers = {r["c_custkey"]: r for r in tables["customer"]}
+    suppliers = {r["s_suppkey"]: r for r in tables["supplier"]}
+    lines_by_order = {}
+    for line in tables["lineitem"]:
+        lines_by_order.setdefault(line["l_orderkey"], []).append(line)
+    rows = set()
+    for order in tables["orders"]:
+        if not date_low <= order["o_orderdate"] <= date_high:
+            continue
+        customer = customers[order["o_custkey"]]
+        if customer["c_nationkey"] not in nations:
+            continue
+        for line in lines_by_order.get(order["o_orderkey"], []):
+            supplier = suppliers[line["l_suppkey"]]
+            if supplier["s_nationkey"] != customer["c_nationkey"]:
+                continue
+            rows.add((customer["c_custkey"], order["o_orderkey"],
+                      line["l_linenumber"], line["l_suppkey"]))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def date_window(workload):
+    return workload.date_range(0.05)
+
+
+@pytest.fixture(scope="module")
+def expected(workload, date_window):
+    rows = naive_q5(workload.tables, *date_window, REGION)
+    assert rows, "test window must produce at least one output row"
+    return rows
+
+
+@pytest.mark.parametrize("mode", ["reference", "smpe", "partitioned"])
+def test_rede_modes_match_naive(workload, date_window, expected, mode):
+    cluster = (Cluster(laptop_cluster_spec(NUM_NODES))
+               if mode != "reference" else None)
+    executor = ReDeExecutor(cluster, workload.catalog, mode=mode)
+    result = executor.execute(workload.q5_job(*date_window, REGION))
+    assert canonical_q5_rows_rede(result) == expected
+
+
+def test_scan_engine_matches_naive(workload, date_window, expected):
+    cluster = Cluster(laptop_cluster_spec(NUM_NODES))
+    engine = ScanEngine(cluster, workload.blockstore)
+    result = engine.execute(workload.q5_scan_plan(*date_window, REGION))
+    assert canonical_q5_rows_scan(result) == expected
+
+
+def test_empty_region_yields_no_rows(workload, date_window):
+    executor = ReDeExecutor(None, workload.catalog, mode="reference")
+    result = executor.execute(
+        workload.q5_job(*date_window, region="ATLANTIS"))
+    assert len(result.rows) == 0
+
+
+def test_fig7_shape_at_low_selectivity(workload):
+    """At low selectivity: SMPE beats w/o SMPE beats the scan engine."""
+    low, high = workload.date_range(0.002)
+    times = {}
+
+    smpe = ReDeExecutor(workload.make_cluster(), workload.catalog,
+                        mode="smpe")
+    times["smpe"] = smpe.execute(
+        workload.q5_job(low, high, REGION)).metrics.elapsed_seconds
+
+    part = ReDeExecutor(workload.make_cluster(), workload.catalog,
+                        mode="partitioned")
+    times["partitioned"] = part.execute(
+        workload.q5_job(low, high, REGION)).metrics.elapsed_seconds
+
+    scan = ScanEngine(workload.make_cluster(), workload.blockstore)
+    times["scan"] = scan.execute(
+        workload.q5_scan_plan(low, high, REGION)).metrics.elapsed_seconds
+
+    assert times["smpe"] < times["partitioned"]
+    assert times["smpe"] < times["scan"] / 5  # order-of-magnitude territory
+
+
+def test_scan_engine_flat_in_selectivity(workload):
+    """Impala's cost is scan-dominated: near-flat across selectivity."""
+    times = []
+    for selectivity in (0.01, 0.3):
+        engine = ScanEngine(workload.make_cluster(), workload.blockstore)
+        low, high = workload.date_range(selectivity)
+        result = engine.execute(workload.q5_scan_plan(low, high, REGION))
+        times.append(result.metrics.elapsed_seconds)
+    assert times[1] < times[0] * 5  # grows far slower than 30x input ratio
+
+
+def test_rede_time_grows_with_selectivity(workload):
+    times = []
+    for selectivity in (0.002, 0.4):
+        executor = ReDeExecutor(workload.make_cluster(), workload.catalog,
+                                mode="smpe")
+        low, high = workload.date_range(selectivity)
+        result = executor.execute(workload.q5_job(low, high, REGION))
+        times.append(result.metrics.elapsed_seconds)
+    assert times[1] > times[0] * 5  # steep growth, per the paper

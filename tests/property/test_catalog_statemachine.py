@@ -1,0 +1,116 @@
+"""Stateful property test: the catalog under arbitrary interleavings.
+
+Registers access methods, builds lazily, inserts records (with index
+maintenance), and queries — in random orders — while checking the catalog
+against a plain dict-of-lists model.  Every query goes through a real
+Reference-Dereference job on the oracle executor.
+"""
+
+from collections import defaultdict
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core import (
+    AccessMethodDefinition,
+    ChainQuery,
+    MappingInterpreter,
+    Record,
+    StructureCatalog,
+)
+from repro.engine import ReDeExecutor
+from repro.storage import DistributedFileSystem
+
+INTERP = MappingInterpreter()
+
+attrs = st.integers(min_value=0, max_value=9)
+scopes = st.sampled_from(["global", "local", "replicated"])
+
+
+class CatalogMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.dfs = DistributedFileSystem(num_nodes=3)
+        self.catalog = StructureCatalog(self.dfs)
+        self.next_pk = 0
+        self.model: dict[int, list[int]] = defaultdict(list)  # attr -> pks
+        self.index_count = 0
+        self.catalog.register_file("t", [], lambda r: r["pk"])
+        # register_file with no records never records loader info unless
+        # load() ran; seed one record so loader info exists.
+        self._insert(attr=0)
+
+    def _insert(self, attr):
+        record = Record({"pk": self.next_pk, "attr": attr})
+        self.catalog.insert_record("t", record)
+        self.model[attr].append(self.next_pk)
+        self.next_pk += 1
+
+    @rule(attr=attrs)
+    def insert(self, attr):
+        self._insert(attr)
+
+    @rule(scope=scopes)
+    def register_index(self, scope):
+        name = f"idx{self.index_count}"
+        self.index_count += 1
+        self.catalog.register_access_method(AccessMethodDefinition(
+            name=name, base_file="t", interpreter=INTERP,
+            key_field="attr", scope=scope))
+
+    @rule()
+    def build_all(self):
+        self.catalog.build_all()
+
+    @rule(data=st.data())
+    def build_one_pending(self, data):
+        pending = self.catalog.pending()
+        if pending:
+            self.catalog.ensure_built(data.draw(st.sampled_from(pending)))
+
+    @rule(attr=attrs, data=st.data())
+    def query_through_random_index(self, attr, data):
+        built = [name for name in self.catalog.names()
+                 if name.startswith("idx")
+                 and self.catalog.state(name).value == "built"]
+        if not built:
+            return
+        index = data.draw(st.sampled_from(built))
+        job = (ChainQuery("q", interpreter=INTERP)
+               .from_index_lookup(index, [attr], base="t")
+               .build())
+        result = ReDeExecutor(None, self.catalog,
+                              mode="reference").execute(job)
+        got = sorted(row.record["pk"] for row in result.rows)
+        assert got == sorted(self.model[attr]), (index, attr)
+
+    @invariant()
+    def base_file_complete(self):
+        base = self.dfs.get_base("t")
+        assert len(base) == self.next_pk
+
+    @invariant()
+    def built_indexes_sized_consistently(self):
+        for name in self.catalog.names():
+            if not name.startswith("idx"):
+                continue
+            if self.catalog.state(name).value != "built":
+                continue
+            index = self.dfs.get_index(name)
+            replicas = (index.num_partitions
+                        if index.scope == "replicated" else 1)
+            assert len(index) == self.next_pk * replicas
+            for tree in index.trees:
+                tree.check_invariants()
+
+
+TestCatalogStateMachine = CatalogMachine.TestCase
+TestCatalogStateMachine.settings = settings(max_examples=20,
+                                            stateful_step_count=30,
+                                            deadline=None)

@@ -1,0 +1,82 @@
+"""Property: randomly composed ChainQuery chains always compile to valid
+jobs whose structure mirrors the chain, and execute without error."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AccessMethodDefinition,
+    ChainQuery,
+    MappingInterpreter,
+    Record,
+    StructureCatalog,
+)
+from repro.core.chain import ChainQuery
+from repro.core.functions import Dereferencer, Referencer
+from repro.engine import ReDeExecutor
+from repro.storage import DistributedFileSystem
+
+INTERP = MappingInterpreter()
+
+join_steps = st.lists(
+    st.fixed_dictionaries({
+        "via_index": st.booleans(),
+        "use_context_key": st.booleans(),
+        "filtered": st.booleans(),
+    }),
+    min_size=0, max_size=4)
+
+
+def build_chain(steps):
+    chain = (ChainQuery("random", interpreter=INTERP)
+             .from_index_range("idx0", 0, 5, base="t0"))
+    for i, step in enumerate(steps):
+        target = f"t{i + 1}"
+        kwargs = {"carry": ["pk"]}
+        if step["use_context_key"] and i > 0:
+            kwargs["context_key"] = "pk"
+        else:
+            kwargs["key"] = "fk"
+        if step["via_index"]:
+            kwargs["via_index"] = f"idx{i + 1}"
+        chain.join(target, **kwargs)
+        if step["filtered"]:
+            chain.filter_range("pk", 0, 10 ** 9)
+    return chain.build()
+
+
+@settings(max_examples=40, deadline=None)
+@given(join_steps)
+def test_random_chains_compile_to_valid_jobs(steps):
+    job = build_chain(steps)
+    # Structural invariants the Job validator enforces, double-checked:
+    assert isinstance(job.functions[0], Dereferencer)
+    assert isinstance(job.functions[-1], Dereferencer)
+    for i, function in enumerate(job.functions):
+        expected = Dereferencer if i % 2 == 0 else Referencer
+        assert isinstance(function, expected)
+    # Each join contributes 2 (direct) or 4 (via index) functions.
+    expected_len = 3 + sum(4 if s["via_index"] else 2 for s in steps)
+    assert job.num_stages == expected_len
+
+
+@settings(max_examples=15, deadline=None)
+@given(join_steps)
+def test_random_chains_execute(steps):
+    """Chains over a matching catalog run end-to-end on the oracle."""
+    dfs = DistributedFileSystem(num_nodes=2)
+    catalog = StructureCatalog(dfs)
+    for i in range(len(steps) + 1):
+        records = [Record({"pk": k, "fk": k, "attr": k % 6})
+                   for k in range(12)]
+        catalog.register_file(f"t{i}", records, lambda r: r["pk"])
+        catalog.register_access_method(AccessMethodDefinition(
+            name=f"idx{i}", base_file=f"t{i}", interpreter=INTERP,
+            key_field="attr" if i == 0 else "fk", scope="global"))
+    catalog.build_all()
+
+    job = build_chain(steps)
+    result = ReDeExecutor(None, catalog, mode="reference").execute(job)
+    # attr in [0,5] matches all 12 records of t0; every join hop is
+    # pk->fk identity, so the row count is stable across hops.
+    assert len(result.rows) == 12

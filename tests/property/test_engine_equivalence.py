@@ -1,0 +1,150 @@
+"""Property: all three engines agree on randomized jobs and datasets.
+
+Hypothesis generates small two-table datasets (with a foreign-key
+relation), random index layouts (global vs local, join via index vs direct
+vs broadcast), random probe ranges and random filters; every generated job
+must produce identical row sets and identical record-access counts on the
+reference oracle, the SMPE engine, and the partitioned engine.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.core import (
+    AccessMethodDefinition,
+    ChainQuery,
+    MappingInterpreter,
+    Record,
+    StructureCatalog,
+)
+from repro.engine import ReDeExecutor
+from repro.storage import DistributedFileSystem
+
+INTERP = MappingInterpreter()
+
+datasets = st.fixed_dictionaries({
+    "num_parents": st.integers(min_value=1, max_value=25),
+    "children_per_parent": st.integers(min_value=0, max_value=4),
+    "num_nodes": st.integers(min_value=1, max_value=4),
+    "attr_mod": st.integers(min_value=1, max_value=10),
+})
+
+job_shapes = st.fixed_dictionaries({
+    "probe_low": st.integers(min_value=-2, max_value=12),
+    "probe_width": st.integers(min_value=0, max_value=12),
+    "index_scope": st.sampled_from(["global", "local"]),
+    "join_mode": st.sampled_from(["direct", "via_index", "broadcast"]),
+    "filter_child_mod": st.one_of(st.none(),
+                                  st.integers(min_value=1, max_value=3)),
+})
+
+
+def build_catalog(ds):
+    dfs = DistributedFileSystem(num_nodes=ds["num_nodes"])
+    catalog = StructureCatalog(dfs)
+    parents = [Record({"pid": i, "attr": i % ds["attr_mod"]})
+               for i in range(ds["num_parents"])]
+    children = [Record({"cid": p * 100 + c, "parent": p,
+                        "flag": (p + c) % 3})
+                for p in range(ds["num_parents"])
+                for c in range(ds["children_per_parent"])]
+    catalog.register_file("parent", parents, lambda r: r["pid"])
+    catalog.register_file("child", children, lambda r: r["cid"])
+    catalog.register_access_method(AccessMethodDefinition(
+        name="idx_attr", base_file="parent", interpreter=INTERP,
+        key_field="attr", scope="global"))
+    catalog.register_access_method(AccessMethodDefinition(
+        name="idx_child_parent_g", base_file="child", interpreter=INTERP,
+        key_field="parent", scope="global"))
+    catalog.register_access_method(AccessMethodDefinition(
+        name="idx_child_parent_l", base_file="child", interpreter=INTERP,
+        key_field="parent", scope="local"))
+    catalog.build_all()
+    return catalog
+
+
+def build_job(shape):
+    low = shape["probe_low"]
+    high = low + shape["probe_width"]
+    chain = (ChainQuery("random_job", interpreter=INTERP)
+             .from_index_range("idx_attr", low, high, base="parent"))
+    if shape["join_mode"] == "direct":
+        # child is partitioned by cid, not parent: probe the global index
+        # but follow entries (the only correct direct path) — equivalent
+        # to via_index here, exercised with a different filter placement.
+        chain.join("child", key="pid", via_index="idx_child_parent_g",
+                   carry=["pid", "attr"])
+    elif shape["join_mode"] == "via_index":
+        chain.join("child", key="pid", via_index="idx_child_parent_g",
+                   carry=["pid"])
+    else:
+        chain.join("child", key="pid", via_index="idx_child_parent_l",
+                   carry=["pid"], broadcast=True)
+    if shape["filter_child_mod"] is not None:
+        mod = shape["filter_child_mod"]
+        chain.filter_fn(lambda r, __: r.get("flag", 0) % mod == 0,
+                        name="flag-mod")
+    return chain.build()
+
+
+def expected_rows(ds, shape):
+    low = shape["probe_low"]
+    high = low + shape["probe_width"]
+    matched_parents = {p for p in range(ds["num_parents"])
+                       if low <= p % ds["attr_mod"] <= high}
+    rows = set()
+    for p in matched_parents:
+        for c in range(ds["children_per_parent"]):
+            flag = (p + c) % 3
+            if shape["filter_child_mod"] is not None \
+                    and flag % shape["filter_child_mod"] != 0:
+                continue
+            rows.add((p, p * 100 + c))
+    return rows
+
+
+def rows_of(result):
+    return {(row.context["pid"], row.record["cid"])
+            for row in result.rows}
+
+
+@settings(max_examples=30, deadline=None)
+@given(datasets, job_shapes)
+def test_engines_agree_on_random_jobs(ds, shape):
+    catalog = build_catalog(ds)
+    job = build_job(shape)
+    expected = expected_rows(ds, shape)
+
+    reference = ReDeExecutor(None, catalog, mode="reference").execute(job)
+    assert rows_of(reference) == expected
+
+    results = {"reference": reference}
+    for mode in ("smpe", "partitioned"):
+        cluster = Cluster(ClusterSpec(num_nodes=ds["num_nodes"]))
+        results[mode] = ReDeExecutor(cluster, catalog,
+                                     mode=mode).execute(job)
+        assert rows_of(results[mode]) == expected, mode
+
+    # Same structures and same probes => identical access accounting.
+    accesses = {mode: r.metrics.record_accesses
+                for mode, r in results.items()}
+    assert len(set(accesses.values())) == 1, accesses
+
+
+@settings(max_examples=15, deadline=None)
+@given(datasets)
+def test_smpe_never_slower_than_partitioned(ds):
+    """With >= 2 probes in flight, dynamic parallelism can only help."""
+    catalog = build_catalog(ds)
+    job = (ChainQuery("all", interpreter=INTERP)
+           .from_index_range("idx_attr", 0, 100, base="parent")
+           .join("child", key="pid", via_index="idx_child_parent_g",
+                 carry=["pid"])
+           .build())
+    times = {}
+    for mode in ("smpe", "partitioned"):
+        cluster = Cluster(ClusterSpec(num_nodes=ds["num_nodes"]))
+        result = ReDeExecutor(cluster, catalog, mode=mode).execute(job)
+        times[mode] = result.metrics.elapsed_seconds
+    assert times["smpe"] <= times["partitioned"] * 1.0001

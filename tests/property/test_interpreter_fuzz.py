@@ -1,0 +1,105 @@
+"""Property: schema-on-read interpreters never raise, whatever the input.
+
+The paper's flexibility claim rests on interpretation-at-read-time being
+total: malformed sub-records degrade (fields go missing), they never crash
+a job mid-flight.  Hypothesis feeds the interpreters arbitrary text and
+structures.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Record
+from repro.core.interpreters import DelimitedTextInterpreter
+from repro.datagen import ClaimInterpreter, ClaimsGenerator
+from repro.datagen.fhir import FhirBundleInterpreter, FhirGenerator
+
+claim_interp = ClaimInterpreter()
+fhir_interp = FhirBundleInterpreter()
+
+arbitrary_text = st.text(max_size=300)
+
+#: Lines that look like claim sub-records but with arbitrary payloads.
+claimish_lines = st.lists(
+    st.tuples(st.sampled_from(["IR", "RE", "HO", "SY", "SI", "IY", "XX",
+                               ""]),
+              st.lists(st.text(alphabet=st.characters(
+                  blacklist_characters="\n"), max_size=10), max_size=6)),
+    max_size=10)
+
+json_like = st.recursive(
+    st.one_of(st.none(), st.booleans(), st.integers(),
+              st.text(max_size=10)),
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.dictionaries(st.text(max_size=8), inner, max_size=4)),
+    max_leaves=15)
+
+
+@given(arbitrary_text)
+def test_claim_interpreter_total_on_text(text):
+    view = claim_interp.interpret(Record(text))
+    assert isinstance(view, dict)
+    assert isinstance(view["diseases"], list)
+
+
+@given(claimish_lines)
+def test_claim_interpreter_total_on_claimish_input(lines):
+    text = "\n".join(",".join([kind] + fields) for kind, fields in lines)
+    view = claim_interp.interpret(Record(text))
+    assert isinstance(view, dict)
+    # Whatever parsed into the lists must have come from SY/SI/IY lines.
+    assert len(view["diseases"]) <= sum(1 for k, __ in lines if k == "SY")
+
+
+@given(json_like)
+def test_claim_interpreter_total_on_structures(payload):
+    assert isinstance(claim_interp.interpret(Record(payload)), dict)
+
+
+@given(json_like)
+def test_fhir_interpreter_total_on_structures(payload):
+    view = fhir_interp.interpret(Record(payload))
+    assert isinstance(view, dict)
+
+
+@given(st.dictionaries(st.text(max_size=8), json_like, max_size=5))
+def test_fhir_interpreter_total_on_bundle_like(payload):
+    payload = dict(payload)
+    payload["resourceType"] = "Bundle"
+    payload.setdefault("entry", payload.get("entry", []))
+    if not isinstance(payload.get("entry"), list):
+        payload["entry"] = []
+    view = fhir_interp.interpret(Record(payload))
+    assert isinstance(view, dict)
+    assert "diseases" in view
+
+
+@given(arbitrary_text, st.lists(st.text(min_size=1, max_size=8),
+                                min_size=1, max_size=5))
+def test_delimited_interpreter_total(text, field_names):
+    interp = DelimitedTextInterpreter(field_names)
+    view = interp.interpret(Record(text))
+    assert set(view) <= set(field_names)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=50), st.integers())
+def test_generated_claims_always_parse_completely(num_claims, seed):
+    """Every generated claim yields the full scalar field set."""
+    for claim in ClaimsGenerator(num_claims=num_claims,
+                                 seed=seed).generate():
+        view = claim_interp.interpret(claim)
+        for field in ("claim_id", "hospital_id", "claim_type",
+                      "patient_id", "total_points"):
+            assert field in view, field
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=1, max_value=30), st.integers())
+def test_generated_bundles_always_parse_completely(num_bundles, seed):
+    for bundle in FhirGenerator(num_bundles=num_bundles,
+                                seed=seed).generate():
+        view = fhir_interp.interpret(bundle)
+        assert view["claim_id"] is not None
+        assert view["total_points"] > 0

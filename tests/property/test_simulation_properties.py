@@ -1,0 +1,129 @@
+"""Property tests for the discrete-event kernel.
+
+Invariants under randomized workloads: capacity conservation, FIFO
+fairness, clock monotonicity, determinism, and utilization bounds.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.simulation import Simulator, all_of
+
+delays = st.floats(min_value=0.0, max_value=10.0, allow_nan=False,
+                   allow_infinity=False)
+
+workloads = st.lists(
+    st.tuples(delays,  # arrival offset
+              st.floats(min_value=0.01, max_value=5.0)),  # service time
+    min_size=1, max_size=30)
+
+
+@settings(max_examples=50, deadline=None)
+@given(workloads, st.integers(min_value=1, max_value=5))
+def test_resource_conserves_capacity(jobs, capacity):
+    sim = Simulator()
+    res = sim.resource(capacity)
+    over_capacity = []
+
+    def worker(arrival, service):
+        yield sim.timeout(arrival)
+        yield res.request()
+        if res.in_use > capacity:
+            over_capacity.append(res.in_use)
+        yield sim.timeout(service)
+        res.release()
+
+    procs = [sim.process(worker(a, s)) for a, s in jobs]
+    sim.run(until=all_of(sim, procs))
+    assert not over_capacity
+    assert res.in_use == 0
+    assert res.max_in_use <= capacity
+
+
+@settings(max_examples=50, deadline=None)
+@given(workloads, st.integers(min_value=1, max_value=5))
+def test_makespan_bounds(jobs, capacity):
+    """Makespan lies between the ideal parallel and fully serial bounds."""
+    sim = Simulator()
+    res = sim.resource(capacity)
+
+    def worker(arrival, service):
+        yield sim.timeout(arrival)
+        yield from res.use(service)
+
+    procs = [sim.process(worker(a, s)) for a, s in jobs]
+    sim.run(until=all_of(sim, procs))
+    total_service = sum(s for __, s in jobs)
+    latest_arrival = max(a for a, __ in jobs)
+    assert sim.now >= max(s for __, s in jobs)  # at least longest job
+    assert sim.now <= latest_arrival + total_service + 1e-9  # serial bound
+
+
+@settings(max_examples=50, deadline=None)
+@given(workloads, st.integers(min_value=1, max_value=5))
+def test_utilization_bounded_and_consistent(jobs, capacity):
+    sim = Simulator()
+    res = sim.resource(capacity)
+
+    def worker(arrival, service):
+        yield sim.timeout(arrival)
+        yield from res.use(service)
+
+    procs = [sim.process(worker(a, s)) for a, s in jobs]
+    sim.run(until=all_of(sim, procs))
+    if sim.now > 0:
+        utilization = res.utilization(0.0, sim.now)
+        assert 0.0 <= utilization <= 1.0 + 1e-9
+        total_service = sum(s for __, s in jobs)
+        assert res.busy_snapshot() == pytest.approx(total_service,
+                                                    rel=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(workloads)
+def test_clock_monotone_and_deterministic(jobs):
+    def run():
+        sim = Simulator()
+        trace = []
+
+        def worker(tag, arrival, service):
+            yield sim.timeout(arrival)
+            trace.append((sim.now, tag, "start"))
+            yield sim.timeout(service)
+            trace.append((sim.now, tag, "end"))
+
+        for tag, (arrival, service) in enumerate(jobs):
+            sim.process(worker(tag, arrival, service))
+        sim.run()
+        times = [t for t, __, __ in trace]
+        assert times == sorted(times)
+        return trace
+
+    assert run() == run()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=1,
+                max_size=50))
+def test_store_preserves_order_and_items(items):
+    sim = Simulator()
+    store = sim.store()
+    received = []
+
+    def producer():
+        for item in items:
+            store.put(item)
+            yield sim.timeout(0.1)
+
+    def consumer():
+        for __ in items:
+            value = yield store.get()
+            received.append(value)
+
+    sim.process(producer())
+    done = sim.process(consumer())
+    sim.run(until=done)
+    assert received == items
+    assert store.total_put == len(items)
+    assert len(store) == 0

@@ -1,0 +1,134 @@
+"""Unit tests for the aggregation helpers."""
+
+import pytest
+
+from repro.core import MappingInterpreter, Record
+from repro.core.job import OutputRow
+from repro.engine.aggregate import (
+    aggregate,
+    distinct_sum,
+    group_by,
+    value_of,
+)
+from repro.datagen import ClaimInterpreter, ClaimsGenerator
+from repro.errors import ExecutionError
+from repro.queries import CASE_STUDY_QUERIES, ClaimsLake
+
+INTERP = MappingInterpreter()
+
+
+def row(record_fields, context=None):
+    return OutputRow(Record(record_fields), context or {})
+
+
+@pytest.fixture
+def rows():
+    return [
+        row({"region": "A", "amount": 10, "claim": 1}),
+        row({"region": "A", "amount": 20, "claim": 2}),
+        row({"region": "B", "amount": 5, "claim": 3}),
+        row({"region": "B", "amount": 5, "claim": 3}),  # duplicate entity
+    ]
+
+
+class TestValueOf:
+    def test_context_wins(self):
+        r = row({"x": 1}, context={"x": 99})
+        assert value_of(r, INTERP, "x") == 99
+
+    def test_falls_back_to_record(self):
+        assert value_of(row({"x": 1}), INTERP, "x") == 1
+
+    def test_default(self):
+        assert value_of(row({}), INTERP, "missing", default=-1) == -1
+
+
+class TestGroupBy:
+    def test_groups_by_tuple(self, rows):
+        groups = group_by(rows, INTERP, ["region"])
+        assert set(groups) == {("A",), ("B",)}
+        assert len(groups[("A",)]) == 2
+        assert len(groups[("B",)]) == 2
+
+    def test_multi_field_key(self, rows):
+        groups = group_by(rows, INTERP, ["region", "claim"])
+        assert ("B", 3) in groups
+
+
+class TestAggregate:
+    def test_sum(self, rows):
+        totals = aggregate(rows, INTERP, ["region"], "amount", how="sum")
+        assert totals[("A",)] == 30
+        assert totals[("B",)] == 10
+
+    def test_count(self, rows):
+        counts = aggregate(rows, INTERP, ["region"], None, how="count")
+        assert counts == {("A",): 2, ("B",): 2}
+
+    def test_min_max_avg(self, rows):
+        assert aggregate(rows, INTERP, ["region"], "amount",
+                         how="min")[("A",)] == 10
+        assert aggregate(rows, INTERP, ["region"], "amount",
+                         how="max")[("A",)] == 20
+        assert aggregate(rows, INTERP, ["region"], "amount",
+                         how="avg")[("A",)] == 15
+
+    def test_none_values_skipped(self):
+        data = [row({"g": 1, "v": None}), row({"g": 1, "v": 4})]
+        assert aggregate(data, INTERP, ["g"], "v")[(1,)] == 4
+
+    def test_all_none_group(self):
+        data = [row({"g": 1})]
+        assert aggregate(data, INTERP, ["g"], "v")[(1,)] is None
+
+    def test_unknown_aggregate(self, rows):
+        with pytest.raises(ExecutionError):
+            aggregate(rows, INTERP, ["region"], "amount", how="median")
+
+    def test_value_field_required(self, rows):
+        with pytest.raises(ExecutionError):
+            aggregate(rows, INTERP, ["region"], None, how="sum")
+
+
+class TestDistinctSum:
+    def test_counts_each_entity_once(self, rows):
+        total = distinct_sum(rows, INTERP, "claim", "amount")
+        assert total == 10 + 20 + 5  # the duplicate claim 3 counted once
+
+    def test_none_entities_skipped(self):
+        data = [row({"claim": None, "amount": 100}),
+                row({"claim": 1, "amount": 1})]
+        assert distinct_sum(data, INTERP, "claim", "amount") == 1
+
+    def test_matches_claims_query_semantics(self):
+        """distinct_sum over a lake result equals ClaimsLake's total."""
+        claims = ClaimsGenerator(num_claims=800, seed=3).generate()
+        lake = ClaimsLake(claims, num_nodes=2)
+        __, diseases, medicines = CASE_STUDY_QUERIES["Q1"]
+        expected, result = lake.query_expenses(diseases, medicines)
+        got = distinct_sum(result.rows, ClaimInterpreter(), "claim_id",
+                           "total_points")
+        assert got == pytest.approx(expected)
+
+
+class TestGroupedAnalytics:
+    def test_expenses_per_hospital(self):
+        """A grouped variant of the case-study query: per-hospital totals."""
+        claims = ClaimsGenerator(num_claims=800, seed=3).generate()
+        lake = ClaimsLake(claims, num_nodes=2)
+        __, diseases, medicines = CASE_STUDY_QUERIES["Q1"]
+        __, result = lake.query_expenses(diseases, medicines)
+        interp = ClaimInterpreter()
+        per_hospital = aggregate(result.rows, interp, ["hospital_id"],
+                                 "total_points", how="sum")
+        assert per_hospital
+        overall = distinct_sum(result.rows, interp, "claim_id",
+                               "total_points")
+        # Per-group sums may double-count multi-diagnosis claims within a
+        # hospital; dedupe per group and compare.
+        deduped = 0.0
+        for (hospital,), __rows in group_by(result.rows, interp,
+                                            ["hospital_id"]).items():
+            deduped += distinct_sum(__rows, interp, "claim_id",
+                                    "total_points")
+        assert deduped == pytest.approx(overall)

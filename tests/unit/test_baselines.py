@@ -1,0 +1,152 @@
+"""Unit tests for the baseline engines: hash join, scan engine, data lake."""
+
+import pytest
+
+from repro.baselines import DataLakeEngine, HashJoinNode, ScanEngine, \
+    ScanNode, join_rows
+from repro.cluster import Cluster, ClusterSpec
+from repro.core import MappingInterpreter, Record
+from repro.errors import ExecutionError
+from repro.storage import BlockStore
+
+INTERP = MappingInterpreter()
+
+
+class TestJoinRows:
+    def test_basic_equi_join(self):
+        build = [{"id": 1, "a": "x"}, {"id": 2, "a": "y"}]
+        probe = [{"fk": 1, "b": "p"}, {"fk": 1, "b": "q"}, {"fk": 3}]
+        rows, stats = join_rows(build, probe,
+                                build_key=lambda r: r["id"],
+                                probe_key=lambda r: r["fk"])
+        assert len(rows) == 2
+        assert all(r["a"] == "x" for r in rows)
+        assert stats.build_rows == 2
+        assert stats.probe_rows == 3
+        assert stats.output_rows == 2
+        assert stats.output_bytes > 0
+
+    def test_duplicate_build_keys_fan_out(self):
+        build = [{"id": 1, "tag": "a"}, {"id": 1, "tag": "b"}]
+        probe = [{"fk": 1}]
+        rows, __ = join_rows(build, probe, lambda r: r["id"],
+                             lambda r: r["fk"])
+        assert sorted(r["tag"] for r in rows) == ["a", "b"]
+
+    def test_residual_predicate(self):
+        build = [{"id": 1, "n": 5}]
+        probe = [{"fk": 1, "m": 5}, {"fk": 1, "m": 6}]
+        rows, stats = join_rows(build, probe, lambda r: r["id"],
+                                lambda r: r["fk"],
+                                residual=lambda r: r["n"] == r["m"])
+        assert len(rows) == 1
+        assert rows[0]["m"] == 5
+
+    def test_none_keys_never_match(self):
+        build = [{"id": None}]
+        probe = [{"fk": None}]
+        rows, __ = join_rows(build, probe, lambda r: r["id"],
+                             lambda r: r["fk"])
+        assert rows == []
+
+    def test_probe_fields_win_name_clashes(self):
+        build = [{"id": 1, "v": "build"}]
+        probe = [{"id": 1, "v": "probe"}]
+        rows, __ = join_rows(build, probe, lambda r: r["id"],
+                             lambda r: r["id"])
+        assert rows[0]["v"] == "probe"
+
+    def test_empty_inputs(self):
+        rows, stats = join_rows([], [], lambda r: 1, lambda r: 1)
+        assert rows == []
+        assert stats.output_rows == 0
+
+
+@pytest.fixture
+def store():
+    store = BlockStore(num_nodes=2, block_size=512)
+    left = [Record({"id": i, "name": f"n{i}"}) for i in range(20)]
+    right = [Record({"fk": i % 20, "val": i}) for i in range(60)]
+    store.load("left", left)
+    store.load("right", right)
+    return store
+
+
+class TestScanEngine:
+    def make_engine(self, store):
+        return ScanEngine(Cluster(ClusterSpec(num_nodes=2)), store)
+
+    def test_scan_node_filters(self, store):
+        engine = self.make_engine(store)
+        result = engine.execute(ScanNode(
+            "left", predicate=lambda r: r["id"] < 5))
+        assert sorted(r["id"] for r in result.rows) == [0, 1, 2, 3, 4]
+        assert result.metrics.rows_scanned == 20
+        assert result.metrics.bytes_scanned == store.file_bytes("left")
+        assert result.metrics.elapsed_seconds > 0
+
+    def test_join_plan_answers(self, store):
+        engine = self.make_engine(store)
+        plan = HashJoinNode(
+            build=ScanNode("left", predicate=lambda r: r["id"] < 3),
+            probe=ScanNode("right"),
+            build_key=lambda r: r["id"],
+            probe_key=lambda r: r["fk"])
+        result = engine.execute(plan)
+        assert len(result.rows) == 9  # ids 0,1,2 x 3 occurrences each
+        assert all("name" in r and "val" in r for r in result.rows)
+        assert len(result.metrics.joins) == 1
+
+    def test_join_shuffles_bytes(self, store):
+        engine = self.make_engine(store)
+        plan = HashJoinNode(build=ScanNode("left"), probe=ScanNode("right"),
+                            build_key=lambda r: r["id"],
+                            probe_key=lambda r: r["fk"])
+        result = engine.execute(plan)
+        assert result.metrics.bytes_shuffled > 0
+        assert result.metrics.tuples_processed >= 0
+
+    def test_single_node_cluster_no_shuffle(self, store):
+        single_store = BlockStore(num_nodes=1, block_size=512)
+        single_store.load("left", [Record({"id": 1})])
+        single_store.load("right", [Record({"fk": 1})])
+        engine = ScanEngine(Cluster(ClusterSpec(num_nodes=1)),
+                            single_store)
+        plan = HashJoinNode(build=ScanNode("left"),
+                            probe=ScanNode("right"),
+                            build_key=lambda r: r["id"],
+                            probe_key=lambda r: r["fk"])
+        result = engine.execute(plan)
+        assert len(result.rows) == 1
+        assert result.metrics.bytes_shuffled == 0
+
+    def test_unknown_plan_node_rejected(self, store):
+        engine = self.make_engine(store)
+        with pytest.raises(ExecutionError):
+            engine.execute("not a plan")
+
+    def test_scan_time_flat_in_predicate(self, store):
+        """The defining property: scan cost is selectivity-independent."""
+        engine_all = self.make_engine(store)
+        all_rows = engine_all.execute(ScanNode("right"))
+        engine_none = self.make_engine(store)
+        none_rows = engine_none.execute(
+            ScanNode("right", predicate=lambda r: False))
+        assert none_rows.metrics.elapsed_seconds == pytest.approx(
+            all_rows.metrics.elapsed_seconds, rel=0.05)
+
+
+class TestDataLakeEngine:
+    def test_query_without_cluster(self, store):
+        engine = DataLakeEngine(store, INTERP)
+        result = engine.query("left", lambda v: v["id"] % 2 == 0)
+        assert len(result.rows) == 10
+        assert result.record_accesses == 20
+        assert result.elapsed_seconds == 0.0
+        assert result.bytes_scanned == store.file_bytes("left")
+
+    def test_query_with_cluster_charges_time(self, store):
+        engine = DataLakeEngine(store, INTERP,
+                                cluster=Cluster(ClusterSpec(num_nodes=2)))
+        result = engine.query("left", lambda v: True)
+        assert result.elapsed_seconds > 0

@@ -1,0 +1,157 @@
+"""Unit + equivalence tests for the ChainQuery higher-level abstraction."""
+
+import pytest
+
+from repro.core.chain import ChainQuery
+from repro.core.functions import (
+    FileLookupDereferencer,
+    IndexEntryReferencer,
+    IndexLookupDereferencer,
+    IndexRangeDereferencer,
+    KeyReferencer,
+)
+from repro.core.interpreters import AndFilter, MappingInterpreter
+from repro.engine import ReDeExecutor
+from repro.errors import JobDefinitionError
+from repro.queries import TpchWorkload, canonical_q5_rows_rede
+
+INTERP = MappingInterpreter()
+
+
+class TestChainStructure:
+    def test_from_index_range_with_base(self):
+        job = (ChainQuery("q")
+               .from_index_range("idx", 1, 9, base="t")
+               .build())
+        kinds = [type(f) for f in job.functions]
+        assert kinds == [IndexRangeDereferencer, IndexEntryReferencer,
+                         FileLookupDereferencer]
+        assert len(job.inputs) == 1
+
+    def test_from_index_lookup_multiple_keys(self):
+        job = (ChainQuery("q")
+               .from_index_lookup("idx", ["a", "b", "c"], base="t")
+               .build())
+        assert len(job.inputs) == 3
+        assert isinstance(job.functions[0], IndexLookupDereferencer)
+
+    def test_from_pointers(self):
+        job = ChainQuery("q").from_pointers("t", [1, 2]).build()
+        assert len(job.functions) == 1
+        assert len(job.inputs) == 2
+
+    def test_direct_join_appends_two_functions(self):
+        job = (ChainQuery("q")
+               .from_pointers("t", [1])
+               .join("u", key="fk")
+               .build())
+        assert isinstance(job.functions[1], KeyReferencer)
+        assert isinstance(job.functions[2], FileLookupDereferencer)
+        assert job.functions[2].file_name == "u"
+
+    def test_join_via_index_appends_four_functions(self):
+        job = (ChainQuery("q")
+               .from_pointers("t", [1])
+               .join("u", key="fk", via_index="idx_u")
+               .build())
+        kinds = [type(f) for f in job.functions[1:]]
+        assert kinds == [KeyReferencer, IndexLookupDereferencer,
+                         IndexEntryReferencer, FileLookupDereferencer]
+
+    def test_join_from_context(self):
+        job = (ChainQuery("q")
+               .from_pointers("t", [1])
+               .join("u", context_key="saved")
+               .build())
+        referencer = job.functions[1]
+        assert referencer.key_from_context == "saved"
+
+    def test_broadcast_join(self):
+        job = (ChainQuery("q")
+               .from_pointers("t", [1])
+               .join("u", key="fk", broadcast=True)
+               .build())
+        assert job.functions[1].broadcast
+
+    def test_filters_attach_and_conjoin(self):
+        job = (ChainQuery("q")
+               .from_pointers("t", [1])
+               .filter_equals("a", 1)
+               .filter_range("b", 0, 9)
+               .build())
+        assert isinstance(job.functions[0].filter, AndFilter)
+
+    def test_two_sources_rejected(self):
+        chain = ChainQuery("q").from_pointers("t", [1])
+        with pytest.raises(JobDefinitionError):
+            chain.from_pointers("u", [2])
+
+    def test_join_before_source_rejected(self):
+        with pytest.raises(JobDefinitionError):
+            ChainQuery("q").join("u", key="fk")
+
+    def test_filter_before_source_rejected(self):
+        with pytest.raises(JobDefinitionError):
+            ChainQuery("q").filter_equals("a", 1)
+
+
+class TestChainEquivalence:
+    """The chain-compiled Q5' equals the handwritten job on every count."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return TpchWorkload(scale_factor=0.001, seed=3, num_nodes=4,
+                            block_size=64 * 1024)
+
+    def chain_q5(self, workload, low, high, region):
+        return (ChainQuery("q5_chain", interpreter=INTERP)
+                .from_index_range("idx_orders_orderdate", low, high,
+                                  base="orders")
+                .join("customer", key="o_custkey",
+                      carry=["o_orderkey", "o_orderdate"])
+                .join("nation", key="c_nationkey",
+                      carry=["c_custkey", "c_nationkey"])
+                .join("region", key="n_regionkey", carry=["n_name"])
+                .filter_equals("r_name", region)
+                .join("lineitem", context_key="o_orderkey",
+                      carry=["r_name"])
+                .join("supplier", key="l_suppkey",
+                      carry=["l_orderkey", "l_linenumber", "l_suppkey",
+                             "l_extendedprice", "l_discount"])
+                .filter_context_match("s_nationkey", "c_nationkey")
+                .build())
+
+    def test_chain_q5_matches_handwritten(self, workload):
+        low, high = workload.date_range(0.05)
+        executor = ReDeExecutor(None, workload.catalog, mode="reference")
+        handwritten = executor.execute(workload.q5_job(low, high, "ASIA"))
+        chained = executor.execute(self.chain_q5(workload, low, high,
+                                                 "ASIA"))
+        assert (canonical_q5_rows_rede(chained)
+                == canonical_q5_rows_rede(handwritten))
+        assert len(handwritten.rows) > 0
+        # Same functions -> same access profile.
+        assert (chained.metrics.record_accesses
+                == handwritten.metrics.record_accesses)
+
+    def test_chain_with_index_join_matches(self, workload):
+        """Part->Lineitem through the global FK index, chain-form."""
+        job = (ChainQuery("pl", interpreter=INTERP)
+               .from_index_range("idx_part_retailprice", 1000, 1005,
+                                 base="part")
+               .join("lineitem", key="p_partkey",
+                     via_index="idx_lineitem_partkey",
+                     carry=["p_partkey"])
+               .build())
+        executor = ReDeExecutor(None, workload.catalog, mode="reference")
+        result = executor.execute(job)
+        expected = set()
+        parts = {r["p_partkey"] for r in workload.tables["part"]
+                 if 1000 <= r["p_retailprice"] <= 1005}
+        for line in workload.tables["lineitem"]:
+            if line["l_partkey"] in parts:
+                expected.add((line["l_orderkey"], line["l_linenumber"]))
+        got = {(row.record["l_orderkey"], row.record["l_linenumber"])
+               for row in result.rows}
+        assert got == expected
+        assert expected

@@ -1,0 +1,50 @@
+"""Unit tests for the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_fig7_defaults(self):
+        args = build_parser().parse_args(["fig7"])
+        assert args.scale == 0.002
+        assert args.nodes == 8
+
+    def test_fig9_claims_option(self):
+        args = build_parser().parse_args(["fig9", "--claims", "123"])
+        assert args.claims == 123
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "lazily built" in out
+        assert "simulated ms" in out
+
+    def test_inventory(self, capsys):
+        assert main(["inventory"]) == 0
+        out = capsys.readouterr().out
+        assert "idx_claims_disease" in out
+        assert "built" in out
+
+    def test_fig9_small(self, capsys):
+        assert main(["fig9", "--claims", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "Q1" in out and "Q3" in out
+        assert "normalized" in out
+
+    def test_fig7_small(self, capsys):
+        assert main(["fig7", "--scale", "0.0005", "--nodes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "SMPE vs Impala" in out
+        assert "0.400" in out

@@ -1,0 +1,122 @@
+"""Unit tests for config presets, RNG helpers, and the bench harness."""
+
+import pytest
+
+from repro.bench import (
+    SweepTable,
+    format_factor,
+    format_seconds,
+    geometric_mean,
+)
+from repro.config import (
+    EngineConfig,
+    balanced_cluster_spec,
+    laptop_cluster_spec,
+    paper_cluster_spec,
+)
+from repro.datagen.rng import (
+    add_days,
+    date_range_days,
+    make_rng,
+    random_phrase,
+)
+
+
+class TestConfig:
+    def test_balanced_spec_hits_scan_target(self):
+        total_bytes = 800 * 1024 * 1024
+        spec = balanced_cluster_spec(total_bytes, num_nodes=8,
+                                     scan_seconds=0.5)
+        bytes_per_node = total_bytes / 8
+        assert (bytes_per_node / spec.node.disk.seq_bandwidth
+                == pytest.approx(0.5))
+
+    def test_balanced_spec_keeps_random_io_model(self):
+        paper = paper_cluster_spec()
+        balanced = balanced_cluster_spec(10 ** 9)
+        assert (balanced.node.disk.random_service_time
+                == paper.node.disk.random_service_time)
+        assert balanced.node.disk.spindles == paper.node.disk.spindles
+        assert balanced.node.cores == paper.node.cores
+
+    def test_balanced_spec_tiny_dataset_safe(self):
+        spec = balanced_cluster_spec(0, num_nodes=4)
+        assert spec.node.disk.seq_bandwidth > 0
+
+    def test_engine_config_defaults_match_paper(self):
+        config = EngineConfig()
+        assert config.thread_pool_size == 1000
+        assert config.inline_referencers is True
+
+    def test_laptop_spec_num_nodes(self):
+        assert laptop_cluster_spec(3).num_nodes == 3
+
+
+class TestRngHelpers:
+    def test_make_rng_streams_decorrelate(self):
+        a = make_rng(1, "alpha").random()
+        b = make_rng(1, "beta").random()
+        assert a != b
+
+    def test_make_rng_deterministic(self):
+        assert make_rng(5, "s").random() == make_rng(5, "s").random()
+
+    def test_random_phrase_word_count(self):
+        phrase = random_phrase(make_rng(1), 4)
+        assert len(phrase.split()) == 4
+
+    def test_date_arithmetic(self):
+        assert date_range_days("1992-01-01", "1992-01-31") == 30
+        assert add_days("1992-01-01", 31) == "1992-02-01"
+        assert add_days("1992-12-31", 1) == "1993-01-01"
+
+
+class TestFormatting:
+    def test_format_seconds_scales(self):
+        assert format_seconds(2.5) == "2.500s"
+        assert format_seconds(0.0421) == "42.1ms"
+        assert format_seconds(0.000123) == "123us"
+
+    def test_format_factor(self):
+        assert format_factor(12.34) == "12.3x"
+        assert format_factor(float("inf")) == "-"
+        assert format_factor(0.0) == "-"
+        assert format_factor(float("nan")) == "-"
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0, 5]) == pytest.approx(5.0)
+
+
+class TestSweepTable:
+    def test_render_contains_all_cells(self):
+        table = SweepTable("demo", ["a", "b"])
+        table.add_row(1, "x")
+        table.add_row(2.5, "y")
+        table.add_note("a note")
+        text = table.render()
+        assert "demo" in text
+        assert "2.500" in text
+        assert "a note" in text
+
+    def test_row_arity_checked(self):
+        table = SweepTable("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_accessor(self):
+        table = SweepTable("demo", ["a", "b"])
+        table.add_row(1, "x")
+        table.add_row(2, "y")
+        assert table.column("b") == ["x", "y"]
+
+    def test_float_rendering_edge_cases(self):
+        table = SweepTable("demo", ["v"])
+        table.add_row(0.0)
+        table.add_row(1234567.0)
+        table.add_row(0.0001)
+        text = table.render()
+        assert "0" in text
+        assert "1.23e+06" in text
+        assert "0.0001" in text

@@ -1,0 +1,74 @@
+"""Unit tests for Job.describe and the restored Q5 aggregation."""
+
+import pytest
+
+from repro.engine import ReDeExecutor
+from repro.queries import TpchWorkload
+from repro.queries.tpch_q5 import q5_revenue_by_nation
+
+REGION = "ASIA"
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return TpchWorkload(scale_factor=0.002, seed=4, num_nodes=4,
+                        block_size=64 * 1024)
+
+
+class TestDescribe:
+    def test_q5_plan_text(self, workload):
+        job = workload.q5_job("1994-01-01", "1994-06-30")
+        text = job.describe()
+        assert "Job 'tpch_q5' (13 stages, 1 input)" in text
+        assert "IndexRangeDereferencer -> idx_orders_orderdate" in text
+        assert "FileLookupDereferencer -> supplier" in text
+        assert "[filter: ContextMatchFilter]" in text
+        assert "input: PointerRange" in text
+        # One line per stage plus header plus inputs.
+        assert len(text.splitlines()) == 1 + 13 + 1
+
+
+class TestQ5Revenue:
+    def naive_revenue(self, tables, low, high, region):
+        region_keys = {r["r_regionkey"] for r in tables["region"]
+                       if r["r_name"] == region}
+        nations = {r["n_nationkey"]: r["n_name"] for r in tables["nation"]
+                   if r["n_regionkey"] in region_keys}
+        customers = {r["c_custkey"]: r for r in tables["customer"]}
+        suppliers = {r["s_suppkey"]: r for r in tables["supplier"]}
+        lines_by_order = {}
+        for line in tables["lineitem"]:
+            lines_by_order.setdefault(line["l_orderkey"], []).append(line)
+        revenue: dict[str, float] = {}
+        for order in tables["orders"]:
+            if not low <= order["o_orderdate"] <= high:
+                continue
+            customer = customers[order["o_custkey"]]
+            if customer["c_nationkey"] not in nations:
+                continue
+            for line in lines_by_order.get(order["o_orderkey"], []):
+                supplier = suppliers[line["l_suppkey"]]
+                if supplier["s_nationkey"] != customer["c_nationkey"]:
+                    continue
+                name = nations[customer["c_nationkey"]]
+                revenue[name] = (revenue.get(name, 0.0)
+                                 + line["l_extendedprice"]
+                                 * (1 - line["l_discount"]))
+        return revenue
+
+    def test_revenue_matches_naive_q5(self, workload):
+        low, high = workload.date_range(0.3)
+        expected = self.naive_revenue(workload.tables, low, high, REGION)
+        assert expected, "window must produce revenue at this seed"
+        executor = ReDeExecutor(None, workload.catalog, mode="reference")
+        result = executor.execute(workload.q5_job(low, high, REGION))
+        got = q5_revenue_by_nation(result)
+        assert set(got) == set(expected)
+        for nation in expected:
+            assert got[nation] == pytest.approx(expected[nation])
+
+    def test_empty_result_empty_revenue(self, workload):
+        executor = ReDeExecutor(None, workload.catalog, mode="reference")
+        result = executor.execute(
+            workload.q5_job("1994-01-01", "1994-01-02", "ATLANTIS"))
+        assert q5_revenue_by_nation(result) == {}

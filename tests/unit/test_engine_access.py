@@ -1,0 +1,224 @@
+"""Unit tests for the shared access layer, metrics, and executor facade."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.core import (
+    FileLookupDereferencer,
+    IndexRangeDereferencer,
+    JobBuilder,
+    MappingInterpreter,
+    Pointer,
+    PointerRange,
+    Record,
+    StructureCatalog,
+)
+from repro.core.job import OutputRow
+from repro.engine.access import (
+    count_only_dereference,
+    resolve_partitions,
+    simulated_dereference,
+)
+from repro.engine.executor import ReDeExecutor
+from repro.engine.metrics import ExecutionMetrics, JobResult
+from repro.errors import ExecutionError
+from repro.storage import (
+    BtreeFile,
+    DistributedFileSystem,
+    HashPartitioner,
+    IndexEntry,
+    PartitionedFile,
+    RangePartitioner,
+)
+
+INTERP = MappingInterpreter()
+
+
+@pytest.fixture
+def base_file():
+    file = PartitionedFile("base", HashPartitioner(4), num_nodes=2)
+    for i in range(20):
+        file.insert(Record({"pk": i}), partition_key=i)
+    return file
+
+
+class TestResolvePartitions:
+    def test_keyed_pointer_single_partition(self, base_file):
+        pointer = Pointer("base", 7, 7)
+        assert resolve_partitions(base_file, pointer) == [
+            base_file.partition_of_key(7)]
+
+    def test_broadcast_all_partitions(self, base_file):
+        pointer = Pointer("base", None, 7)
+        assert resolve_partitions(base_file, pointer) == [0, 1, 2, 3]
+
+    def test_local_only(self, base_file):
+        pointer = Pointer("base", None, 7)
+        pids = resolve_partitions(base_file, pointer, executing_node=0,
+                                  local_only=True)
+        assert pids == base_file.partitions_on_node(0)
+
+    def test_local_only_requires_node(self, base_file):
+        with pytest.raises(ExecutionError):
+            resolve_partitions(base_file, Pointer("base", None, 7),
+                               local_only=True)
+
+    def test_range_partitioner_prunes_ranges(self):
+        index = BtreeFile("idx", RangePartitioner([100, 200, 300]),
+                          num_nodes=2)
+        prange = PointerRange("idx", 120, 180)
+        assert resolve_partitions(index, prange) == [1]
+        wide = PointerRange("idx", 50, 250)
+        assert resolve_partitions(index, wide) == [0, 1, 2]
+
+    def test_range_partitioner_prunes_local_too(self):
+        index = BtreeFile("idx", RangePartitioner([100, 200, 300]),
+                          num_nodes=2)
+        prange = PointerRange("idx", 120, 180)
+        # Partition 1 lives on node 1 (round robin): node 0 has nothing to do.
+        assert resolve_partitions(index, prange, executing_node=0,
+                                  local_only=True) == []
+        assert resolve_partitions(index, prange, executing_node=1,
+                                  local_only=True) == [1]
+
+
+class TestCountOnlyDereference:
+    def test_counts_and_filters(self, base_file):
+        metrics = ExecutionMetrics()
+        deref = FileLookupDereferencer("base")
+        pointer = Pointer("base", 3, 3)
+        records = count_only_dereference(
+            metrics, 0, deref, base_file, pointer,
+            base_file.partition_of_key(3), {})
+        assert [r["pk"] for r in records] == [3]
+        assert metrics.record_accesses == 1
+        assert metrics.base_record_accesses == 1
+        assert metrics.index_entry_accesses == 0
+        assert metrics.random_reads == 1
+        assert metrics.stage_invocations[0] == 1
+
+    def test_miss_still_costs_a_read(self, base_file):
+        metrics = ExecutionMetrics()
+        deref = FileLookupDereferencer("base")
+        pointer = Pointer("base", 999, 999)
+        records = count_only_dereference(
+            metrics, 0, deref, base_file, pointer,
+            base_file.partition_of_key(999), {})
+        assert records == []
+        assert metrics.record_accesses == 0
+        assert metrics.random_reads == 1
+
+    def test_index_fetch_counts_entries(self):
+        index = BtreeFile("idx", HashPartitioner(1), num_nodes=1, order=4)
+        for i in range(30):
+            index.insert(i, IndexEntry(i, i, i))
+        metrics = ExecutionMetrics()
+        deref = IndexRangeDereferencer("idx")
+        records = count_only_dereference(
+            metrics, 0, deref, index, PointerRange("idx", 0, 29), 0, {})
+        assert len(records) == 30
+        assert metrics.index_entry_accesses == 30
+        assert metrics.random_reads == index.probe_io_count(30)
+        assert metrics.random_reads > 1  # spans several leaves at order 4
+
+
+class TestSimulatedDereference:
+    def run(self, generator, cluster):
+        holder = {}
+
+        def proc():
+            holder["records"] = yield from generator
+
+        __, elapsed = cluster.run_job(proc())
+        return holder["records"], elapsed
+
+    def test_local_fetch_charges_disk_only(self, base_file):
+        cluster = Cluster(ClusterSpec(num_nodes=2))
+        metrics = ExecutionMetrics()
+        deref = FileLookupDereferencer("base")
+        pid = base_file.partition_of_key(3)
+        node = base_file.node_of(pid)
+        records, elapsed = self.run(
+            simulated_dereference(cluster, _config(), metrics, 0, deref,
+                                  base_file, Pointer("base", 3, 3), pid,
+                                  node, {}),
+            cluster)
+        assert [r["pk"] for r in records] == [3]
+        assert metrics.remote_fetches == 0
+        service = cluster.spec.node.disk.random_service_time
+        assert elapsed >= service
+
+    def test_remote_fetch_adds_network(self, base_file):
+        cluster = Cluster(ClusterSpec(num_nodes=2))
+        metrics = ExecutionMetrics()
+        deref = FileLookupDereferencer("base")
+        pid = base_file.partition_of_key(3)
+        owner = base_file.node_of(pid)
+        other = 1 - owner
+        records, elapsed = self.run(
+            simulated_dereference(cluster, _config(), metrics, 0, deref,
+                                  base_file, Pointer("base", 3, 3), pid,
+                                  other, {}),
+            cluster)
+        assert metrics.remote_fetches == 1
+        assert metrics.bytes_transferred > 0
+        assert cluster.network.messages == 2  # request + response
+
+
+def _config():
+    from repro.config import DEFAULT_ENGINE_CONFIG
+
+    return DEFAULT_ENGINE_CONFIG
+
+
+class TestExecutorFacade:
+    def make_catalog(self):
+        dfs = DistributedFileSystem(num_nodes=2)
+        catalog = StructureCatalog(dfs)
+        catalog.register_file("t", [Record({"pk": i}) for i in range(5)],
+                              lambda r: r["pk"])
+        return catalog
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ExecutionError):
+            ReDeExecutor(None, self.make_catalog(), mode="turbo")
+
+    def test_cluster_required_for_simulated_modes(self):
+        with pytest.raises(ExecutionError):
+            ReDeExecutor(None, self.make_catalog(), mode="smpe")
+        with pytest.raises(ExecutionError):
+            ReDeExecutor(None, self.make_catalog(), mode="partitioned")
+
+    def test_reference_mode_needs_no_cluster(self):
+        catalog = self.make_catalog()
+        executor = ReDeExecutor(None, catalog, mode="reference")
+        job = (JobBuilder("j").dereference(FileLookupDereferencer("t"))
+               .input(Pointer("t", 2, 2)).build())
+        result = executor.execute(job)
+        assert len(result.rows) == 1
+        assert result.metrics.elapsed_seconds == 0.0
+
+
+class TestMetricsAndJobResult:
+    def test_summary_keys(self):
+        metrics = ExecutionMetrics()
+        metrics.count_fetch(0, 5, True, 2)
+        summary = metrics.summary()
+        assert summary["record_accesses"] == 5
+        assert summary["index_entry_accesses"] == 5
+        assert summary["random_reads"] == 2
+
+    def test_row_set_is_order_insensitive(self):
+        rows_a = [OutputRow(Record({"v": 1}), {}),
+                  OutputRow(Record({"v": 2}), {})]
+        rows_b = list(reversed(rows_a))
+        a = JobResult(rows_a, ExecutionMetrics())
+        b = JobResult(rows_b, ExecutionMetrics())
+        assert a.row_set(INTERP, ["v"]) == b.row_set(INTERP, ["v"])
+        assert len(a) == 2
+
+    def test_sorted_rows_deterministic(self):
+        rows = [OutputRow(Record({"v": 2}), {}),
+                OutputRow(Record({"v": 1}), {})]
+        result = JobResult(rows, ExecutionMetrics())
+        assert result.sorted_rows(INTERP, ["v"]) == [{"v": 1}, {"v": 2}]

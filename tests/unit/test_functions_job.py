@@ -1,0 +1,252 @@
+"""Unit tests for Referencer/Dereferencer functions and Job validation."""
+
+import pytest
+
+from repro.core.functions import (
+    FileLookupDereferencer,
+    FunctionReferencer,
+    IndexEntryReferencer,
+    IndexLookupDereferencer,
+    IndexRangeDereferencer,
+    KeyReferencer,
+)
+from repro.core.interpreters import MappingInterpreter, PredicateFilter
+from repro.core.job import Job, JobBuilder, OutputRow
+from repro.core.pointers import Pointer, PointerRange
+from repro.core.records import Record
+from repro.errors import ExecutionError, JobDefinitionError
+from repro.storage import BtreeFile, HashPartitioner, IndexEntry, \
+    PartitionedFile
+
+INTERP = MappingInterpreter()
+
+
+class TestIndexEntryReferencer:
+    def test_builds_pointer_from_entry(self):
+        ref = IndexEntryReferencer("base")
+        entry = IndexEntry(5, target_partition_key=42, target_key=42)
+        [(pointer, context)] = list(ref.reference(entry, {}))
+        assert pointer == Pointer("base", 42, 42)
+        assert context == {}
+
+    def test_carry_from_entry_fields(self):
+        ref = IndexEntryReferencer("base", carry={"the_key": "key"})
+        entry = IndexEntry(5, 42, 42)
+        [(__, context)] = list(ref.reference(entry, {"old": 1}))
+        assert context == {"old": 1, "the_key": 5}
+
+    def test_non_entry_record_raises(self):
+        ref = IndexEntryReferencer("base")
+        with pytest.raises(ExecutionError):
+            list(ref.reference(Record({"not": "an entry"}), {}))
+
+
+class TestKeyReferencer:
+    def test_key_field_extraction(self):
+        ref = KeyReferencer("target", INTERP, "fk")
+        [(pointer, __)] = list(ref.reference(Record({"fk": 9}), {}))
+        assert pointer == Pointer("target", 9, 9)
+
+    def test_separate_partition_key_field(self):
+        ref = KeyReferencer("target", INTERP, "fk",
+                            partition_key_field="part")
+        [(pointer, __)] = list(
+            ref.reference(Record({"fk": 9, "part": 2}), {}))
+        assert pointer.partition_key == 2
+        assert pointer.key == 9
+
+    def test_broadcast_emits_partitionless_pointer(self):
+        ref = KeyReferencer("target", INTERP, "fk", broadcast=True)
+        [(pointer, __)] = list(ref.reference(Record({"fk": 9}), {}))
+        assert pointer.is_broadcast
+        assert pointer.key == 9
+
+    def test_missing_key_skips_silently(self):
+        ref = KeyReferencer("target", INTERP, "fk")
+        assert list(ref.reference(Record({"other": 1}), {})) == []
+
+    def test_key_from_context(self):
+        ref = KeyReferencer("target", INTERP, key_from_context="saved")
+        [(pointer, __)] = list(
+            ref.reference(Record({"ignored": 1}), {"saved": 77}))
+        assert pointer.key == 77
+
+    def test_key_from_context_missing_skips(self):
+        ref = KeyReferencer("target", INTERP, key_from_context="saved")
+        assert list(ref.reference(Record({}), {})) == []
+
+    def test_exactly_one_key_source_required(self):
+        with pytest.raises(JobDefinitionError):
+            KeyReferencer("t", INTERP)
+        with pytest.raises(JobDefinitionError):
+            KeyReferencer("t", INTERP, "fk", key_from_context="ctx")
+
+    def test_carry_sequence_and_mapping(self):
+        by_list = KeyReferencer("t", INTERP, "fk", carry=["a"])
+        [(__, ctx)] = list(by_list.reference(Record({"fk": 1, "a": 2}), {}))
+        assert ctx == {"a": 2}
+        by_map = KeyReferencer("t", INTERP, "fk", carry={"renamed": "a"})
+        [(__, ctx)] = list(by_map.reference(Record({"fk": 1, "a": 2}), {}))
+        assert ctx == {"renamed": 2}
+
+    def test_context_not_mutated(self):
+        ref = KeyReferencer("t", INTERP, "fk", carry=["a"])
+        original = {"keep": 1}
+        list(ref.reference(Record({"fk": 1, "a": 2}), original))
+        assert original == {"keep": 1}
+
+
+class TestFunctionReferencer:
+    def test_wraps_arbitrary_logic(self):
+        def fan_out(record, context):
+            for i in range(record["n"]):
+                yield Pointer("t", i, i), context
+
+        ref = FunctionReferencer(fan_out)
+        results = list(ref.reference(Record({"n": 3}), {}))
+        assert len(results) == 3
+        assert ref.name == "fan_out"
+
+
+@pytest.fixture
+def base_file():
+    file = PartitionedFile("base", HashPartitioner(2), num_nodes=1)
+    file.insert(Record({"pk": 1, "v": "a"}), partition_key=1)
+    return file
+
+
+@pytest.fixture
+def index_file():
+    index = BtreeFile("idx", HashPartitioner(2), num_nodes=1)
+    index.insert(10, IndexEntry(10, 1, 1))
+    return index
+
+
+class TestDereferencers:
+    def test_file_lookup(self, base_file):
+        deref = FileLookupDereferencer("base")
+        pointer = Pointer("base", 1, 1)
+        pid = base_file.partition_of_key(1)
+        records = deref.fetch(base_file, pointer, pid)
+        assert records[0]["v"] == "a"
+
+    def test_file_lookup_rejects_range(self, base_file):
+        deref = FileLookupDereferencer("base")
+        with pytest.raises(ExecutionError):
+            deref.fetch(base_file, PointerRange("base", 0, 9), 0)
+
+    def test_file_lookup_rejects_index(self, index_file):
+        deref = FileLookupDereferencer("idx")
+        with pytest.raises(JobDefinitionError):
+            deref.fetch(index_file, Pointer("idx", 10, 10), 0)
+
+    def test_index_lookup(self, index_file):
+        deref = IndexLookupDereferencer("idx")
+        pid = index_file.partition_of_key(10)
+        records = deref.fetch(index_file, Pointer("idx", 10, 10), pid)
+        assert len(records) == 1
+
+    def test_index_lookup_rejects_range(self, index_file):
+        deref = IndexLookupDereferencer("idx")
+        with pytest.raises(ExecutionError):
+            deref.fetch(index_file, PointerRange("idx", 0, 99), 0)
+
+    def test_index_lookup_rejects_base_file(self, base_file):
+        deref = IndexLookupDereferencer("base")
+        with pytest.raises(JobDefinitionError):
+            deref.fetch(base_file, Pointer("base", 1, 1), 0)
+
+    def test_index_range_accepts_both_target_kinds(self, index_file):
+        deref = IndexRangeDereferencer("idx")
+        pid = index_file.partition_of_key(10)
+        assert deref.fetch(index_file, PointerRange("idx", 0, 99), pid)
+        assert deref.fetch(index_file, Pointer("idx", 10, 10), pid)
+
+    def test_apply_filter(self, base_file):
+        flt = PredicateFilter(lambda r, ctx: r["v"] == ctx.get("want"))
+        deref = FileLookupDereferencer("base", filter=flt)
+        records = [Record({"v": "a"}), Record({"v": "b"})]
+        assert deref.apply_filter(records, {"want": "a"}) == [
+            Record({"v": "a"})]
+
+    def test_apply_filter_none_passes_all(self, base_file):
+        deref = FileLookupDereferencer("base")
+        records = [Record({"v": "a"})]
+        assert deref.apply_filter(records, {}) == records
+
+
+class TestJobValidation:
+    def make(self, functions, inputs):
+        return Job(functions, inputs)
+
+    def test_valid_minimal_job(self):
+        job = self.make([FileLookupDereferencer("f")],
+                        [Pointer("f", 1, 1)])
+        assert job.num_stages == 1
+        assert job.structures() == ["f"]
+
+    def test_empty_functions_rejected(self):
+        with pytest.raises(JobDefinitionError):
+            self.make([], [Pointer("f", 1, 1)])
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(JobDefinitionError):
+            self.make([FileLookupDereferencer("f")], [])
+
+    def test_must_start_with_dereferencer(self):
+        with pytest.raises(JobDefinitionError):
+            self.make([IndexEntryReferencer("f"),
+                       FileLookupDereferencer("f")],
+                      [Pointer("f", 1, 1)])
+
+    def test_must_alternate(self):
+        with pytest.raises(JobDefinitionError):
+            self.make([FileLookupDereferencer("f"),
+                       FileLookupDereferencer("f")],
+                      [Pointer("f", 1, 1)])
+
+    def test_must_end_with_dereferencer(self):
+        with pytest.raises(JobDefinitionError):
+            self.make([FileLookupDereferencer("f"),
+                       IndexEntryReferencer("f")],
+                      [Pointer("f", 1, 1)])
+
+    def test_input_must_target_stage0_structure(self):
+        with pytest.raises(JobDefinitionError):
+            self.make([FileLookupDereferencer("f")],
+                      [Pointer("other", 1, 1)])
+
+    def test_input_type_checked(self):
+        with pytest.raises(JobDefinitionError):
+            self.make([FileLookupDereferencer("f")], ["not a pointer"])
+
+    def test_function_at_bounds(self):
+        job = self.make([FileLookupDereferencer("f")],
+                        [Pointer("f", 1, 1)])
+        assert job.function_at(0) is job.functions[0]
+        assert job.function_at(1) is None
+        assert job.function_at(-1) is None
+
+    def test_builder_round_trip(self):
+        job = (JobBuilder("demo")
+               .dereference(IndexRangeDereferencer("idx"))
+               .reference(IndexEntryReferencer("base"))
+               .dereference(FileLookupDereferencer("base"))
+               .inputs([PointerRange("idx", 0, 9),
+                        PointerRange("idx", 20, 29)])
+               .build())
+        assert job.name == "demo"
+        assert job.num_stages == 3
+        assert len(job.inputs) == 2
+        assert "IndexRangeDereferencer" in repr(job)
+
+
+class TestOutputRow:
+    def test_project_merges_context_over_fields(self):
+        row = OutputRow(Record({"a": 1, "b": 2}), {"b": 99, "c": 3})
+        flat = row.project(INTERP, ["a", "b"])
+        assert flat == {"a": 1, "b": 99, "c": 3}
+
+    def test_project_missing_fields_are_none(self):
+        row = OutputRow(Record({"a": 1}), {})
+        assert row.project(INTERP, ["a", "zz"]) == {"a": 1, "zz": None}

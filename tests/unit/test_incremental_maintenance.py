@@ -1,0 +1,147 @@
+"""Unit tests for incremental index maintenance on inserts."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.core import (
+    AccessMethodDefinition,
+    FileLookupDereferencer,
+    IndexEntryReferencer,
+    IndexLookupDereferencer,
+    JobBuilder,
+    MaintenanceWorker,
+    MappingInterpreter,
+    Pointer,
+    Record,
+    StructureCatalog,
+)
+from repro.engine import ReDeExecutor
+from repro.storage import DistributedFileSystem
+
+INTERP = MappingInterpreter()
+
+
+def make_catalog(num_built=2):
+    dfs = DistributedFileSystem(num_nodes=2)
+    catalog = StructureCatalog(dfs)
+    records = [Record({"pk": i, "color": ["red", "blue"][i % 2],
+                       "size": i % 5})
+               for i in range(40)]
+    catalog.register_file("items", records, lambda r: r["pk"])
+    catalog.register_access_method(AccessMethodDefinition(
+        "idx_color", "items", interpreter=INTERP, key_field="color",
+        scope="global"))
+    catalog.register_access_method(AccessMethodDefinition(
+        "idx_size", "items", interpreter=INTERP, key_field="size",
+        scope="local"))
+    for name in ["idx_color", "idx_size"][:num_built]:
+        catalog.ensure_built(name)
+    return catalog
+
+
+class TestInsertRecord:
+    def test_insert_updates_built_indexes(self):
+        catalog = make_catalog(num_built=2)
+        pointer, writes = catalog.insert_record(
+            "items", Record({"pk": 100, "color": "red", "size": 1}))
+        assert writes == 2  # both built indexes maintained
+        base = catalog.dfs.get_base("items")
+        assert base.lookup(pointer)[0]["pk"] == 100
+
+    def test_new_record_visible_through_index(self):
+        catalog = make_catalog(num_built=1)
+        catalog.insert_record(
+            "items", Record({"pk": 100, "color": "green", "size": 1}))
+        job = (JobBuilder("probe")
+               .dereference(IndexLookupDereferencer("idx_color"))
+               .reference(IndexEntryReferencer("items"))
+               .dereference(FileLookupDereferencer("items"))
+               .input(Pointer("idx_color", "green", "green"))
+               .build())
+        result = ReDeExecutor(None, catalog, mode="reference").execute(job)
+        assert [row.record["pk"] for row in result.rows] == [100]
+
+    def test_pending_indexes_not_charged(self):
+        catalog = make_catalog(num_built=0)
+        __, writes = catalog.insert_record(
+            "items", Record({"pk": 100, "color": "red", "size": 1}))
+        assert writes == 0
+        assert set(catalog.pending()) == {"idx_color", "idx_size"}
+
+    def test_pending_index_sees_record_at_build_time(self):
+        catalog = make_catalog(num_built=0)
+        catalog.insert_record(
+            "items", Record({"pk": 100, "color": "gold", "size": 1}))
+        index = catalog.ensure_built("idx_color")
+        pid = index.partition_of_key("gold")
+        assert index.lookup_in_partition(pid,
+                                         Pointer("idx_color", "gold",
+                                                 "gold"))
+
+    def test_multi_valued_maintenance(self):
+        dfs = DistributedFileSystem(num_nodes=2)
+        catalog = StructureCatalog(dfs)
+        catalog.register_file("t", [Record({"pk": 1, "tags": ["a", "b"]})],
+                              lambda r: r["pk"])
+        catalog.register_access_method(AccessMethodDefinition(
+            "idx_tags", "t", key_fn=lambda r: r.get("tags")))
+        catalog.ensure_built("idx_tags")
+        __, writes = catalog.insert_record(
+            "t", Record({"pk": 2, "tags": ["a", "c", "d"]}))
+        assert writes == 3
+
+    def test_maintained_structures_listing(self):
+        catalog = make_catalog(num_built=1)
+        assert catalog.maintained_structures("items") == ["idx_color"]
+        assert catalog.maintained_structures("other") == []
+
+    def test_insert_after_incremental_insert_consistent(self):
+        """Query results stay equal to a rebuilt-from-scratch index."""
+        catalog = make_catalog(num_built=1)
+        for i in range(100, 110):
+            catalog.insert_record(
+                "items",
+                Record({"pk": i, "color": ["red", "blue"][i % 2],
+                        "size": i % 5}))
+        index = catalog.dfs.get_index("idx_color")
+        pid = index.partition_of_key("red")
+        entries = index.lookup_in_partition(
+            pid, Pointer("idx_color", "red", "red"))
+        reds = [r for r in catalog.dfs.get_base("items").scan()
+                if r["color"] == "red"]
+        assert len(entries) == len(reds)
+        for tree in index.trees:
+            tree.check_invariants()
+
+
+class TestLoadRecords:
+    def test_load_counts_and_time(self):
+        catalog = make_catalog(num_built=2)
+        cluster = Cluster(ClusterSpec(num_nodes=2))
+        worker = MaintenanceWorker(catalog, cluster=cluster)
+        batch = [Record({"pk": 200 + i, "color": "red", "size": i % 5})
+                 for i in range(20)]
+        inserted, writes, elapsed = worker.load_records("items", batch)
+        assert inserted == 20
+        assert writes == 40  # two maintained structures
+        assert elapsed > 0
+
+    def test_load_without_cluster_is_timeless(self):
+        catalog = make_catalog(num_built=1)
+        worker = MaintenanceWorker(catalog)
+        inserted, writes, elapsed = worker.load_records(
+            "items", [Record({"pk": 300, "color": "red", "size": 0})])
+        assert (inserted, writes, elapsed) == (1, 1, 0.0)
+
+    def test_more_structures_cost_more_load_time(self):
+        """The V-B trade-off, directly."""
+        times = []
+        for num_built in (0, 2):
+            catalog = make_catalog(num_built=num_built)
+            cluster = Cluster(ClusterSpec(num_nodes=2))
+            worker = MaintenanceWorker(catalog, cluster=cluster)
+            batch = [Record({"pk": 500 + i, "color": "red", "size": 1})
+                     for i in range(30)]
+            __, __, elapsed = worker.load_records("items", batch)
+            times.append(elapsed)
+        assert times[1] > times[0]

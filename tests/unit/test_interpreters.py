@@ -1,0 +1,119 @@
+"""Unit tests for schema-on-read interpreters and filters."""
+
+import pytest
+
+from repro.core.interpreters import (
+    AndFilter,
+    ContextMatchFilter,
+    DelimitedTextInterpreter,
+    FieldEqualsFilter,
+    FieldRangeFilter,
+    FunctionInterpreter,
+    MappingInterpreter,
+    PredicateFilter,
+)
+from repro.core.records import Record
+
+INTERP = MappingInterpreter()
+
+
+class TestMappingInterpreter:
+    def test_passthrough(self):
+        record = Record({"a": 1})
+        assert INTERP.interpret(record) == {"a": 1}
+        assert INTERP.field(record, "a") == 1
+        assert INTERP.field(record, "b", 9) == 9
+
+    def test_non_mapping_is_empty(self):
+        assert INTERP.interpret(Record("text")) == {}
+
+
+class TestDelimitedTextInterpreter:
+    def test_basic_split(self):
+        interp = DelimitedTextInterpreter(["a", "b", "c"])
+        view = interp.interpret(Record("x|y|z"))
+        assert view == {"a": "x", "b": "y", "c": "z"}
+
+    def test_typed_conversion(self):
+        interp = DelimitedTextInterpreter(["id", "price"],
+                                          types={"id": int, "price": float})
+        view = interp.interpret(Record("7|19.5"))
+        assert view == {"id": 7, "price": 19.5}
+
+    def test_short_row_yields_partial_view(self):
+        interp = DelimitedTextInterpreter(["a", "b", "c"])
+        assert interp.interpret(Record("only")) == {"a": "only"}
+
+    def test_extra_fields_ignored(self):
+        interp = DelimitedTextInterpreter(["a"])
+        assert interp.interpret(Record("x|y|z")) == {"a": "x"}
+
+    def test_custom_delimiter(self):
+        interp = DelimitedTextInterpreter(["a", "b"], delimiter=",")
+        assert interp.interpret(Record("1,2")) == {"a": "1", "b": "2"}
+
+    def test_non_text_payload(self):
+        interp = DelimitedTextInterpreter(["a"])
+        assert interp.interpret(Record({"a": 1})) == {}
+
+
+class TestFunctionInterpreter:
+    def test_wraps_callable(self):
+        interp = FunctionInterpreter(lambda r: {"n": len(r.data)})
+        assert interp.interpret(Record("abcd")) == {"n": 4}
+
+    def test_name_defaults(self):
+        def my_parser(record):
+            return {}
+
+        assert FunctionInterpreter(my_parser).name == "my_parser"
+        assert FunctionInterpreter(my_parser, name="other").name == "other"
+
+
+class TestFilters:
+    def test_predicate_filter(self):
+        keep_even = PredicateFilter(lambda r, ctx: r["v"] % 2 == 0)
+        assert keep_even.matches(Record({"v": 2}), {})
+        assert not keep_even.matches(Record({"v": 3}), {})
+
+    def test_field_range_filter(self):
+        flt = FieldRangeFilter(INTERP, "v", 10, 20)
+        assert flt.matches(Record({"v": 15}), {})
+        assert flt.matches(Record({"v": 10}), {})
+        assert flt.matches(Record({"v": 20}), {})
+        assert not flt.matches(Record({"v": 9}), {})
+        assert not flt.matches(Record({"v": 21}), {})
+
+    def test_field_range_open_bounds(self):
+        assert FieldRangeFilter(INTERP, "v", None, 5).matches(
+            Record({"v": -100}), {})
+        assert FieldRangeFilter(INTERP, "v", 5, None).matches(
+            Record({"v": 100}), {})
+
+    def test_field_range_missing_field_rejected(self):
+        flt = FieldRangeFilter(INTERP, "v", 0, 10)
+        assert not flt.matches(Record({"other": 5}), {})
+
+    def test_field_equals_filter(self):
+        flt = FieldEqualsFilter(INTERP, "name", "ASIA")
+        assert flt.matches(Record({"name": "ASIA"}), {})
+        assert not flt.matches(Record({"name": "EUROPE"}), {})
+        assert not flt.matches(Record({}), {})
+
+    def test_context_match_filter(self):
+        flt = ContextMatchFilter(INTERP, "s_nationkey", "c_nationkey")
+        assert flt.matches(Record({"s_nationkey": 3}), {"c_nationkey": 3})
+        assert not flt.matches(Record({"s_nationkey": 3}),
+                               {"c_nationkey": 4})
+        # Missing context key: reject rather than pass silently.
+        assert not flt.matches(Record({"s_nationkey": 3}), {})
+
+    def test_and_filter(self):
+        flt = AndFilter(FieldRangeFilter(INTERP, "v", 0, 10),
+                        FieldEqualsFilter(INTERP, "tag", "x"))
+        assert flt.matches(Record({"v": 5, "tag": "x"}), {})
+        assert not flt.matches(Record({"v": 5, "tag": "y"}), {})
+        assert not flt.matches(Record({"v": 50, "tag": "x"}), {})
+
+    def test_and_filter_empty_matches_all(self):
+        assert AndFilter().matches(Record({}), {})

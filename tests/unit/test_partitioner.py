@@ -1,0 +1,96 @@
+"""Unit tests for partitioners and the stable hash."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.storage.partitioner import (
+    HashPartitioner,
+    RangePartitioner,
+    stable_hash,
+)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("orderkey-17") == stable_hash("orderkey-17")
+        assert stable_hash(12345) == stable_hash(12345)
+
+    def test_int_float_agree_on_integral_values(self):
+        assert stable_hash(7) == stable_hash(7.0)
+
+    def test_distinct_inputs_differ(self):
+        values = [1, 2, "a", "b", (1, 2), (2, 1), b"x", 3.5]
+        hashes = [stable_hash(v) for v in values]
+        assert len(set(hashes)) == len(values)
+
+    def test_bool_not_confused_with_int(self):
+        assert stable_hash(True) != stable_hash(1)
+
+    def test_tuple_nesting_unambiguous(self):
+        assert stable_hash(("ab", "c")) != stable_hash(("a", "bc"))
+
+    def test_none_rejected(self):
+        with pytest.raises(PartitionError):
+            stable_hash(None)
+
+
+class TestHashPartitioner:
+    def test_range_and_stability(self):
+        part = HashPartitioner(16)
+        for key in range(1000):
+            pid = part.partition(key)
+            assert 0 <= pid < 16
+            assert pid == part.partition(key)
+
+    def test_roughly_uniform(self):
+        part = HashPartitioner(8)
+        counts = [0] * 8
+        for key in range(8000):
+            counts[part.partition(key)] += 1
+        assert min(counts) > 700  # each bucket near 1000
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(PartitionError):
+            HashPartitioner(0)
+
+    def test_validate(self):
+        part = HashPartitioner(4)
+        assert part.validate(3) == 3
+        with pytest.raises(PartitionError):
+            part.validate(4)
+        with pytest.raises(PartitionError):
+            part.validate(-1)
+
+
+class TestRangePartitioner:
+    def test_boundaries(self):
+        part = RangePartitioner([10, 20])
+        assert part.num_partitions == 3
+        assert part.partition(-5) == 0
+        assert part.partition(9) == 0
+        assert part.partition(10) == 1
+        assert part.partition(19) == 1
+        assert part.partition(20) == 2
+        assert part.partition(1000) == 2
+
+    def test_partition_range_prunes(self):
+        part = RangePartitioner([10, 20, 30])
+        assert list(part.partition_range(12, 18)) == [1]
+        assert list(part.partition_range(5, 25)) == [0, 1, 2]
+        assert list(part.partition_range(None, 9)) == [0]
+        assert list(part.partition_range(35, None)) == [3]
+        assert list(part.partition_range(None, None)) == [0, 1, 2, 3]
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(PartitionError):
+            RangePartitioner([20, 10])
+
+    def test_duplicate_boundaries_rejected(self):
+        with pytest.raises(PartitionError):
+            RangePartitioner([10, 10])
+
+    def test_string_keys(self):
+        part = RangePartitioner(["h", "p"])
+        assert part.partition("apple") == 0
+        assert part.partition("mango") == 1
+        assert part.partition("zebra") == 2

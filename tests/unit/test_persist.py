@@ -1,0 +1,115 @@
+"""Unit tests for dataset persistence and the generation cache."""
+
+import pytest
+
+from repro.core import Record
+from repro.datagen import ClaimsGenerator, TpchGenerator
+from repro.errors import StorageError
+from repro.storage.persist import DatasetCache, load_records, save_records
+
+
+class TestSaveLoad:
+    def test_mapping_roundtrip(self, tmp_path):
+        records = [Record({"pk": i, "name": f"r{i}", "price": i * 1.5})
+                   for i in range(50)]
+        path = tmp_path / "data.jsonl"
+        assert save_records(path, records) == 50
+        assert load_records(path) == records
+
+    def test_text_roundtrip(self, tmp_path):
+        records = [Record("IR,1,2,piecework\nRE,3,outpatient"),
+                   Record("plain text")]
+        path = tmp_path / "text.jsonl"
+        save_records(path, records)
+        assert load_records(path) == records
+
+    def test_mixed_payloads(self, tmp_path):
+        records = [Record({"a": 1}), Record("raw"), Record({"b": [1, 2]})]
+        path = tmp_path / "mixed.jsonl"
+        save_records(path, records)
+        assert load_records(path) == records
+
+    def test_unicode_preserved(self, tmp_path):
+        records = [Record({"name": "高血圧"}), Record("薬剤コード")]
+        path = tmp_path / "unicode.jsonl"
+        save_records(path, records)
+        assert load_records(path) == records
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "data.jsonl"
+        save_records(path, [Record({"a": 1})])
+        assert path.exists()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_records(tmp_path / "absent.jsonl")
+
+    def test_unsupported_payload_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            save_records(tmp_path / "bad.jsonl", [Record(object())])
+
+    def test_reserved_key_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            save_records(tmp_path / "bad.jsonl",
+                         [Record({"__text__": "collision"})])
+
+    def test_claims_dataset_roundtrip(self, tmp_path):
+        claims = ClaimsGenerator(num_claims=100, seed=1).generate()
+        path = tmp_path / "claims.jsonl"
+        save_records(path, claims)
+        assert load_records(path) == claims
+
+    def test_tpch_dataset_roundtrip(self, tmp_path):
+        orders = TpchGenerator(scale_factor=0.0005, seed=1).orders()
+        path = tmp_path / "orders.jsonl"
+        save_records(path, orders)
+        assert load_records(path) == orders
+
+
+class TestDatasetCache:
+    def test_generate_once_then_hit(self, tmp_path):
+        cache = DatasetCache(tmp_path)
+        calls = []
+
+        def generate():
+            calls.append(1)
+            return [Record({"v": i}) for i in range(10)]
+
+        first = cache.get_or_generate("d", {"n": 10}, generate)
+        second = cache.get_or_generate("d", {"n": 10}, generate)
+        assert first == second
+        assert len(calls) == 1
+        assert cache.contains("d", {"n": 10})
+
+    def test_different_params_different_entries(self, tmp_path):
+        cache = DatasetCache(tmp_path)
+        a = cache.get_or_generate("d", {"n": 1},
+                                  lambda: [Record({"v": 1})])
+        b = cache.get_or_generate("d", {"n": 2},
+                                  lambda: [Record({"v": 2})])
+        assert a != b
+        assert cache.contains("d", {"n": 1})
+        assert cache.contains("d", {"n": 2})
+
+    def test_param_order_irrelevant(self, tmp_path):
+        cache = DatasetCache(tmp_path)
+        cache.get_or_generate("d", {"a": 1, "b": 2},
+                              lambda: [Record({"v": 1})])
+        assert cache.contains("d", {"b": 2, "a": 1})
+
+    def test_invalidate_specific(self, tmp_path):
+        cache = DatasetCache(tmp_path)
+        cache.get_or_generate("d", {"n": 1}, lambda: [Record({"v": 1})])
+        assert cache.invalidate("d", {"n": 1}) == 1
+        assert not cache.contains("d", {"n": 1})
+        assert cache.invalidate("d", {"n": 1}) == 0
+
+    def test_invalidate_all_of_name(self, tmp_path):
+        cache = DatasetCache(tmp_path)
+        for n in range(3):
+            cache.get_or_generate("d", {"n": n},
+                                  lambda: [Record({"v": 0})])
+        cache.get_or_generate("other", {"n": 0},
+                              lambda: [Record({"v": 0})])
+        assert cache.invalidate("d") == 3
+        assert cache.contains("other", {"n": 0})

@@ -1,0 +1,164 @@
+"""Unit + property tests for equi-depth histograms and their use by the
+cost model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSpec
+from repro.core import (
+    AccessMethodDefinition,
+    FileLookupDereferencer,
+    IndexRangeDereferencer,
+    IndexEntryReferencer,
+    JobBuilder,
+    MappingInterpreter,
+    PointerRange,
+    Record,
+    StructureCatalog,
+)
+from repro.engine.hybrid import CostModel
+from repro.errors import ExecutionError, StorageError
+from repro.storage import DistributedFileSystem
+from repro.storage.stats import EquiDepthHistogram, build_index_histogram
+
+INTERP = MappingInterpreter()
+
+
+def hist_of(keys, num_buckets=8):
+    return EquiDepthHistogram.from_sorted_pairs(
+        [(k, None) for k in sorted(keys)], num_buckets=num_buckets)
+
+
+class TestHistogramConstruction:
+    def test_empty(self):
+        histogram = hist_of([])
+        assert len(histogram) == 0
+        assert histogram.total == 0
+        assert histogram.estimate_range(0, 100) == 0.0
+        assert histogram.estimate_equal(5) == 0.0
+
+    def test_bucket_count_bounded(self):
+        histogram = hist_of(range(1000), num_buckets=8)
+        assert len(histogram) <= 8
+        assert histogram.total == 1000
+
+    def test_duplicates_stay_in_one_bucket(self):
+        keys = [1] * 50 + [2] * 50 + [3] * 50
+        histogram = hist_of(keys, num_buckets=4)
+        for bucket in histogram.buckets:
+            # Boundaries are distinct-key boundaries.
+            assert bucket.low <= bucket.high
+        assert histogram.estimate_equal(1) == pytest.approx(50, rel=0.5)
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(StorageError):
+            EquiDepthHistogram.from_sorted_pairs([(2, None), (1, None)])
+
+    def test_zero_buckets_rejected(self):
+        with pytest.raises(StorageError):
+            EquiDepthHistogram.from_sorted_pairs([], num_buckets=0)
+
+
+class TestHistogramEstimates:
+    def test_full_range_equals_total(self):
+        histogram = hist_of(range(100))
+        assert histogram.estimate_range(None, None) == pytest.approx(100)
+        assert histogram.estimate_range(0, 99) == pytest.approx(100)
+
+    def test_uniform_interpolation_accuracy(self):
+        histogram = hist_of(range(1000), num_buckets=16)
+        estimate = histogram.estimate_range(100, 299)
+        assert estimate == pytest.approx(200, rel=0.2)
+
+    def test_point_estimate_uniform(self):
+        histogram = hist_of(range(100))
+        assert histogram.estimate_equal(50) == pytest.approx(1, rel=0.5)
+
+    def test_out_of_domain_range(self):
+        histogram = hist_of(range(100))
+        assert histogram.estimate_range(500, 600) == 0.0
+        assert histogram.estimate_equal(500) == 0.0
+
+    def test_string_keys_count_boundary_buckets_whole(self):
+        histogram = hist_of([f"k{i:03d}" for i in range(100)],
+                            num_buckets=4)
+        estimate = histogram.estimate_range("k000", "k099")
+        assert estimate == pytest.approx(100)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1,
+                    max_size=300),
+           st.integers(min_value=0, max_value=220),
+           st.integers(min_value=0, max_value=60),
+           st.integers(min_value=1, max_value=16))
+    def test_estimate_bounded_by_bucket_error(self, keys, low, width,
+                                              buckets):
+        """|estimate - truth| is at most the two boundary buckets' mass."""
+        histogram = hist_of(keys, num_buckets=buckets)
+        high = low + width
+        truth = sum(1 for k in keys if low <= k <= high)
+        estimate = histogram.estimate_range(low, high)
+        max_bucket = max((b.count for b in histogram.buckets), default=0)
+        assert abs(estimate - truth) <= 2 * max_bucket + 1e-9
+
+
+class TestBuildFromIndex:
+    def make_catalog(self, scope="global"):
+        dfs = DistributedFileSystem(num_nodes=3)
+        catalog = StructureCatalog(dfs)
+        records = [Record({"pk": i, "v": i % 100}) for i in range(600)]
+        catalog.register_file("t", records, lambda r: r["pk"])
+        catalog.register_access_method(AccessMethodDefinition(
+            name="idx_v", base_file="t", interpreter=INTERP,
+            key_field="v", scope=scope))
+        catalog.build_all()
+        return catalog
+
+    def test_global_index_histogram(self):
+        catalog = self.make_catalog()
+        histogram = build_index_histogram(catalog.dfs.get_index("idx_v"))
+        assert histogram.total == 600
+        assert histogram.estimate_range(0, 49) == pytest.approx(300,
+                                                                rel=0.15)
+
+    def test_replicated_index_counts_one_copy(self):
+        catalog = self.make_catalog(scope="replicated")
+        histogram = build_index_histogram(catalog.dfs.get_index("idx_v"))
+        assert histogram.total == 600  # not 3x
+
+    def test_cost_model_histogram_mode(self):
+        catalog = self.make_catalog()
+        job = (JobBuilder("probe")
+               .dereference(IndexRangeDereferencer("idx_v"))
+               .reference(IndexEntryReferencer("t"))
+               .dereference(FileLookupDereferencer("t"))
+               .input(PointerRange("idx_v", 0, 49))
+               .build())
+        exact = CostModel(ClusterSpec(num_nodes=3), statistics="exact")
+        approx = CostModel(ClusterSpec(num_nodes=3),
+                           statistics="histogram")
+        true_cardinality = exact.initial_cardinality(catalog, job)
+        est_cardinality = approx.initial_cardinality(catalog, job)
+        assert true_cardinality == 300
+        assert est_cardinality == pytest.approx(300, rel=0.2)
+        # Estimates track each other closely enough for plan choice.
+        assert approx.estimate_rede_seconds(catalog, job) == pytest.approx(
+            exact.estimate_rede_seconds(catalog, job), rel=0.25)
+
+    def test_histograms_cached_per_structure(self):
+        catalog = self.make_catalog()
+        model = CostModel(ClusterSpec(num_nodes=3),
+                          statistics="histogram")
+        job = (JobBuilder("probe")
+               .dereference(IndexRangeDereferencer("idx_v"))
+               .input(PointerRange("idx_v", 0, 9))
+               .build())
+        model.initial_cardinality(catalog, job)
+        first = model._histograms["idx_v"]
+        model.initial_cardinality(catalog, job)
+        assert model._histograms["idx_v"] is first
+
+    def test_invalid_statistics_mode(self):
+        with pytest.raises(ExecutionError):
+            CostModel(ClusterSpec(num_nodes=2), statistics="tarot")

@@ -1,0 +1,301 @@
+"""Unit tests for heap files, partitioned files, B-tree files, DFS, and the
+block store."""
+
+import pytest
+
+from repro.core.pointers import Pointer, PointerKind, PointerRange
+from repro.core.records import Record
+from repro.errors import (
+    PartitionError,
+    RecordNotFound,
+    StorageError,
+    UnknownStructure,
+)
+from repro.storage import (
+    BlockStore,
+    BtreeFile,
+    DistributedFileSystem,
+    HashPartitioner,
+    HeapFile,
+    IndexEntry,
+    PartitionedFile,
+    round_robin_placement,
+)
+
+
+def rec(**fields):
+    return Record(fields)
+
+
+class TestHeapFile:
+    def test_append_get_roundtrip(self):
+        heap = HeapFile("h")
+        slot = heap.append(rec(a=1))
+        assert heap.get(slot) == rec(a=1)
+        assert len(heap) == 1
+
+    def test_key_lookup_with_duplicates(self):
+        heap = HeapFile("h")
+        heap.append(rec(a=1), key="k")
+        heap.append(rec(a=2), key="k")
+        assert heap.lookup("k") == [rec(a=1), rec(a=2)]
+        assert heap.lookup("missing") == []
+        assert heap.contains_key("k")
+        assert not heap.contains_key("missing")
+
+    def test_bad_slot_raises(self):
+        heap = HeapFile("h")
+        with pytest.raises(RecordNotFound):
+            heap.get(0)
+
+    def test_scan_order_and_bytes(self):
+        heap = HeapFile("h")
+        records = [rec(i=i) for i in range(5)]
+        for r in records:
+            heap.append(r)
+        assert list(heap.scan()) == records
+        assert heap.total_bytes == sum(r.size_bytes for r in records)
+
+
+class TestPartitionedFile:
+    @pytest.fixture
+    def file(self):
+        return PartitionedFile("part", HashPartitioner(4), num_nodes=2)
+
+    def test_insert_returns_resolvable_pointer(self, file):
+        pointer = file.insert(rec(pk=7, v="x"), partition_key=7)
+        assert pointer.file == "part"
+        assert pointer.key == 7
+        assert file.lookup(pointer) == [rec(pk=7, v="x")]
+
+    def test_explicit_in_partition_key(self, file):
+        pointer = file.insert(rec(pk=7), partition_key=7, key="custom")
+        assert pointer.key == "custom"
+        assert file.lookup(pointer) == [rec(pk=7)]
+
+    def test_physical_pointer_lookup(self, file):
+        file.insert(rec(pk=3), partition_key=3)
+        pid = file.partition_of_key(3)
+        physical = Pointer("part", 3, 0, PointerKind.PHYSICAL)
+        assert file.lookup(physical) == [rec(pk=3)]
+        assert file.lookup_in_partition(pid, physical) == [rec(pk=3)]
+
+    def test_lookup_wrong_file_raises(self, file):
+        with pytest.raises(StorageError):
+            file.lookup(Pointer("other", 1, 1))
+
+    def test_broadcast_pointer_rejected_at_storage(self, file):
+        with pytest.raises(StorageError):
+            file.lookup(Pointer("part", None, 1))
+
+    def test_scan_covers_all_partitions(self, file):
+        for i in range(20):
+            file.insert(rec(pk=i), partition_key=i)
+        assert sorted(r["pk"] for r in file.scan()) == list(range(20))
+        assert len(file) == 20
+
+    def test_placement_round_robin(self):
+        placement = round_robin_placement(4, 2)
+        assert placement == [0, 1, 0, 1]
+        file = PartitionedFile("p", HashPartitioner(4), placement=placement)
+        assert file.node_of(2) == 0
+        assert file.node_of(3) == 1
+        assert file.partitions_on_node(0) == [0, 2]
+
+    def test_placement_length_mismatch(self):
+        with pytest.raises(PartitionError):
+            PartitionedFile("p", HashPartitioner(4), placement=[0, 1])
+
+    def test_needs_placement_or_nodes(self):
+        with pytest.raises(PartitionError):
+            PartitionedFile("p", HashPartitioner(4))
+
+    def test_avg_record_bytes(self, file):
+        assert file.avg_record_bytes == 0.0
+        file.insert(rec(pk=1, text="abcd"), partition_key=1)
+        assert file.avg_record_bytes > 0
+
+
+class TestBtreeFile:
+    def test_global_index_partition_by_index_key(self):
+        index = BtreeFile("idx", HashPartitioner(4), num_nodes=2,
+                          scope="global")
+        entry = IndexEntry(10, target_partition_key=99, target_key=99)
+        index.insert(10, entry)
+        pointer = Pointer("idx", 10, 10)
+        assert index.lookup(pointer) == [entry]
+        assert len(index) == 1
+
+    def test_local_index_requires_base_partition_key(self):
+        index = BtreeFile("idx", HashPartitioner(4), num_nodes=2,
+                          scope="local")
+        with pytest.raises(StorageError):
+            index.insert(10, IndexEntry(10, 1, 1))
+        index.insert(10, IndexEntry(10, 1, 1), partition_key=1)
+
+    def test_range_lookup_per_partition(self):
+        index = BtreeFile("idx", HashPartitioner(2), num_nodes=1,
+                          scope="local")
+        for key in range(10):
+            index.insert(key, IndexEntry(key, key, key), partition_key=key)
+        prange = PointerRange("idx", 3, 6)
+        found = []
+        for pid in range(2):
+            found.extend(index.range_lookup(prange, pid))
+        assert sorted(e["key"] for e in found) == [3, 4, 5, 6]
+
+    def test_bulk_build(self):
+        index = BtreeFile("idx", HashPartitioner(3), num_nodes=1)
+        triples = [(k, IndexEntry(k, k, k), k) for k in range(100)]
+        index.bulk_build(triples)
+        assert len(index) == 100
+        for tree in index.trees:
+            tree.check_invariants()
+        pointer = Pointer("idx", 42, 42)
+        assert index.lookup(pointer)[0]["target_key"] == 42
+
+    def test_probe_io_count(self):
+        index = BtreeFile("idx", HashPartitioner(1), num_nodes=1, order=11)
+        assert index.probe_io_count(0) == 1
+        assert index.probe_io_count(10) == 1
+        assert index.probe_io_count(11) == 2
+        assert index.probe_io_count(25) == 3
+
+    def test_invalid_scope(self):
+        with pytest.raises(StorageError):
+            BtreeFile("idx", HashPartitioner(1), num_nodes=1, scope="both")
+
+    def test_broadcast_lookup_rejected(self):
+        index = BtreeFile("idx", HashPartitioner(1), num_nodes=1)
+        with pytest.raises(StorageError):
+            index.lookup(Pointer("idx", None, 1))
+
+
+class TestDistributedFileSystem:
+    @pytest.fixture
+    def dfs(self):
+        dfs = DistributedFileSystem(num_nodes=4)
+        records = [rec(pk=i, fk=i % 5, date=2000 + i % 10, v=f"r{i}")
+                   for i in range(100)]
+        dfs.load("base", records, partition_key_fn=lambda r: r["pk"])
+        return dfs
+
+    def test_load_and_lookup(self, dfs):
+        base = dfs.get_base("base")
+        assert len(base) == 100
+        pointer = Pointer("base", 17, 17)
+        assert base.lookup(pointer)[0]["v"] == "r17"
+
+    def test_duplicate_name_rejected(self, dfs):
+        with pytest.raises(StorageError):
+            dfs.create_file("base")
+
+    def test_unknown_structure(self, dfs):
+        with pytest.raises(UnknownStructure):
+            dfs.get("missing")
+
+    def test_get_base_type_check(self, dfs):
+        dfs.build_global_index("idx_fk", "base", lambda r: r["fk"])
+        with pytest.raises(StorageError):
+            dfs.get_base("idx_fk")
+        with pytest.raises(StorageError):
+            dfs.get_index("base")
+
+    def test_global_index_probe_single_partition(self, dfs):
+        index = dfs.build_global_index("idx_fk", "base", lambda r: r["fk"])
+        assert index.scope == "global"
+        # All fk=3 entries hash to one partition; probe finds all 20.
+        pid = index.partition_of_key(3)
+        entries = index.lookup_in_partition(pid, Pointer("idx_fk", 3, 3))
+        assert len(entries) == 20
+        # Entries route by the base partition key and address physically.
+        assert all(e["target_partition_key"] % 5 == 3 for e in entries)
+        assert all(e["target_kind"] == "physical" for e in entries)
+
+    def test_local_index_colocated_with_base(self, dfs):
+        base = dfs.get_base("base")
+        index = dfs.build_local_index("idx_date", "base",
+                                      lambda r: r["date"])
+        assert index.scope == "local"
+        assert index.num_partitions == base.num_partitions
+        for pid in range(index.num_partitions):
+            assert index.node_of(pid) == base.node_of(pid)
+        # Entries for a key are spread over (potentially) all partitions.
+        total = sum(
+            len(index.lookup_in_partition(pid, Pointer("idx_date", 0, 2005)))
+            for pid in range(index.num_partitions))
+        assert total == 10
+
+    def test_local_index_range_union_matches_scan(self, dfs):
+        index = dfs.build_local_index("idx_date", "base",
+                                      lambda r: r["date"])
+        prange = PointerRange("idx_date", 2003, 2005)
+        found = []
+        for pid in range(index.num_partitions):
+            found.extend(index.range_lookup(prange, pid))
+        expected = [r for r in dfs.get_base("base").scan()
+                    if 2003 <= r["date"] <= 2005]
+        assert len(found) == len(expected)
+
+    def test_index_skips_records_missing_key(self):
+        dfs = DistributedFileSystem(num_nodes=2)
+        records = [rec(pk=1, fk=5), rec(pk=2)]  # second lacks fk
+        dfs.load("t", records, partition_key_fn=lambda r: r["pk"])
+        index = dfs.build_global_index("idx", "t", lambda r: r.get("fk"))
+        assert len(index) == 1
+
+    def test_loader_info_required_for_index(self):
+        dfs = DistributedFileSystem(num_nodes=2)
+        dfs.create_file("empty")
+        with pytest.raises(StorageError):
+            dfs.build_global_index("idx", "empty", lambda r: r["x"])
+
+    def test_drop(self, dfs):
+        dfs.drop("base")
+        assert "base" not in dfs
+        with pytest.raises(UnknownStructure):
+            dfs.drop("base")
+
+
+class TestBlockStore:
+    def test_load_packs_blocks_by_bytes(self):
+        store = BlockStore(num_nodes=3, block_size=100)
+        records = [Record({"v": "x" * 40}) for __ in range(10)]
+        blocks = store.load("f", records)
+        assert sum(len(b) for b in blocks) == 10
+        assert all(b.nbytes >= 100 for b in blocks[:-1])
+
+    def test_round_robin_placement(self):
+        store = BlockStore(num_nodes=2, block_size=10)
+        store.load("f", [Record({"v": "x" * 20}) for __ in range(4)])
+        nodes = [b.node_id for b in store.blocks("f")]
+        assert nodes == [0, 1, 0, 1]
+        assert len(store.blocks_on_node("f", 0)) == 2
+
+    def test_scan_yields_all_records(self):
+        store = BlockStore(num_nodes=2, block_size=50)
+        records = [rec(i=i) for i in range(25)]
+        store.load("f", records)
+        assert list(store.scan("f")) == records
+        assert store.num_records("f") == 25
+
+    def test_point_lookup_scans_everything(self):
+        store = BlockStore(num_nodes=2, block_size=50)
+        store.load("f", [rec(i=i) for i in range(100)])
+        matches, scanned = store.point_lookup("f", lambda r: r["i"] == 42)
+        assert [m["i"] for m in matches] == [42]
+        assert scanned == store.file_bytes("f")  # the whole file
+
+    def test_duplicate_and_unknown_names(self):
+        store = BlockStore(num_nodes=1)
+        store.load("f", [])
+        with pytest.raises(StorageError):
+            store.load("f", [])
+        with pytest.raises(UnknownStructure):
+            store.blocks("g")
+
+    def test_invalid_params(self):
+        with pytest.raises(StorageError):
+            BlockStore(num_nodes=0)
+        with pytest.raises(StorageError):
+            BlockStore(num_nodes=1, block_size=0)

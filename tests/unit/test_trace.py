@@ -1,0 +1,115 @@
+"""Unit tests for execution tracing and overlap analysis."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.config import EngineConfig
+from repro.core import (
+    FileLookupDereferencer,
+    JobBuilder,
+    Pointer,
+    Record,
+    StructureCatalog,
+)
+from repro.engine import ReDeExecutor
+from repro.engine.trace import (
+    TraceEvent,
+    concurrency_timeline,
+    max_overlap,
+    render_timeline,
+    stage_spans,
+)
+from repro.storage import DistributedFileSystem
+
+
+def ev(stage, start, end, node=0, partition=0, owner=0, records=1):
+    return TraceEvent(stage=stage, node=node, partition=partition,
+                      owner_node=owner, num_records=records,
+                      start=start, end=end)
+
+
+class TestOverlapAnalysis:
+    def test_max_overlap_disjoint(self):
+        events = [ev(0, 0, 1), ev(0, 1, 2), ev(0, 2, 3)]
+        assert max_overlap(events) == 1
+
+    def test_max_overlap_nested(self):
+        events = [ev(0, 0, 10), ev(0, 1, 2), ev(0, 3, 4), ev(0, 3.5, 9)]
+        assert max_overlap(events) == 3
+
+    def test_max_overlap_empty(self):
+        assert max_overlap([]) == 0
+
+    def test_touching_intervals_do_not_overlap(self):
+        assert max_overlap([ev(0, 0, 1), ev(0, 1, 2)]) == 1
+
+    def test_stage_spans(self):
+        events = [ev(0, 0, 2), ev(0, 1, 3), ev(2, 1.5, 4)]
+        spans = stage_spans(events)
+        assert spans[0] == (0, 3)
+        assert spans[2] == (1.5, 4)
+
+    def test_concurrency_timeline_mass_conserved(self):
+        events = [ev(0, 0.0, 1.0), ev(0, 0.5, 1.5)]
+        timeline = concurrency_timeline(events, num_bins=10)
+        assert len(timeline) == 10
+        # Total event-time mass: 2 x 1.0s over a 1.5s window of 0.15s bins.
+        mass = sum(c for __, c in timeline) * 0.15
+        assert mass == pytest.approx(2.0, rel=0.01)
+
+    def test_concurrency_timeline_empty(self):
+        assert concurrency_timeline([]) == []
+
+    def test_render_timeline(self):
+        events = [ev(0, 0.0, 0.010), ev(0, 0.002, 0.012)]
+        text = render_timeline(events, num_bins=5, width=20)
+        assert "peak concurrency: 2" in text
+        assert "#" in text
+        assert render_timeline([]) == "(no events)"
+
+
+class TestEngineTracing:
+    def setup_method(self):
+        dfs = DistributedFileSystem(num_nodes=2)
+        self.catalog = StructureCatalog(dfs)
+        self.catalog.register_file(
+            "t", [Record({"pk": i}) for i in range(40)], lambda r: r["pk"])
+        builder = JobBuilder("lookups").dereference(
+            FileLookupDereferencer("t"))
+        for key in range(40):
+            builder.input(Pointer("t", key, key))
+        self.job = builder.build()
+
+    def run(self, mode, trace=True):
+        cluster = Cluster(ClusterSpec(num_nodes=2))
+        config = EngineConfig(trace=trace)
+        return ReDeExecutor(cluster, self.catalog, config=config,
+                            mode=mode).execute(self.job)
+
+    def test_tracing_off_by_default(self):
+        cluster = Cluster(ClusterSpec(num_nodes=2))
+        result = ReDeExecutor(cluster, self.catalog, mode="smpe").execute(
+            self.job)
+        assert result.metrics.trace is None
+
+    def test_trace_event_per_dereference(self):
+        result = self.run("smpe")
+        assert len(result.metrics.trace) == 40
+        assert all(e.end > e.start for e in result.metrics.trace)
+        assert all(e.num_records == 1 for e in result.metrics.trace)
+
+    def test_smpe_overlaps_partitioned_does_not_per_node(self):
+        """The Fig. 5 property, measured: SMPE's dereferences overlap;
+        a partitioned worker's are strictly sequential."""
+        smpe = self.run("smpe")
+        partitioned = self.run("partitioned")
+        assert max_overlap(smpe.metrics.trace) > 10
+        for node in (0, 1):
+            node_events = [e for e in partitioned.metrics.trace
+                           if e.node == node]
+            assert max_overlap(node_events) == 1
+
+    def test_trace_is_deterministic(self):
+        first = self.run("smpe").metrics.trace
+        second = self.run("smpe").metrics.trace
+        assert first == second

@@ -1,0 +1,77 @@
+"""Unit tests for the claims warehouse internals and the error hierarchy."""
+
+import pytest
+
+import repro.errors as errors
+from repro.baselines import ClaimsWarehouse
+from repro.core.functions import Dereferencer
+from repro.datagen import ClaimsGenerator
+
+
+@pytest.fixture(scope="module")
+def warehouse():
+    claims = ClaimsGenerator(num_claims=400, seed=6).generate()
+    return ClaimsWarehouse(claims, num_nodes=2)
+
+
+class TestWarehouseInternals:
+    def test_normalized_tables_exist(self, warehouse):
+        for table in ("dw_claims", "dw_diseases", "dw_medicines",
+                      "dw_treatments"):
+            assert table in warehouse.dfs.names()
+
+    def test_claims_table_one_row_per_claim(self, warehouse):
+        assert len(warehouse.dfs.get_base("dw_claims")) == 400
+
+    def test_scalar_fields_folded_into_claims(self, warehouse):
+        row = next(warehouse.dfs.get_base("dw_claims").scan())
+        for field in ("claim_id", "hospital_id", "claim_type",
+                      "patient_id", "category", "total_points"):
+            assert field in row
+
+    def test_child_rows_have_composite_keys(self, warehouse):
+        row = next(warehouse.dfs.get_base("dw_diseases").scan())
+        assert set(row.fields()) == {"claim_id", "seq", "code"}
+
+    def test_indexes_built(self, warehouse):
+        assert warehouse.catalog.pending() == []
+        assert warehouse.dfs.get_index("dw_idx_disease_code").scope == \
+            "global"
+        assert warehouse.dfs.get_index("dw_idx_medicine_claim").scope == \
+            "global"
+
+    def test_expenses_job_is_the_long_chain(self, warehouse):
+        job = warehouse.expenses_job(["SY-HT01"], ["IY-AHT01"])
+        # 5 dereferences: disease index, disease rows, medicine index,
+        # medicine rows, claims rows.
+        derefs = [f for f in job.functions if isinstance(f, Dereferencer)]
+        assert len(derefs) == 5
+        assert derefs[-1].file_name == "dw_claims"
+
+    def test_zero_match_query(self, warehouse):
+        total, result = warehouse.query_expenses(["SY-NONE"], ["IY-NONE"])
+        assert total == 0
+        assert result.rows == []
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        error_types = [
+            getattr(errors, name) for name in dir(errors)
+            if isinstance(getattr(errors, name), type)
+            and issubclass(getattr(errors, name), Exception)
+        ]
+        assert len(error_types) > 10
+        for error_type in error_types:
+            assert issubclass(error_type, errors.ReproError)
+
+    def test_specific_parentage(self):
+        assert issubclass(errors.SimulationDeadlock, errors.SimulationError)
+        assert issubclass(errors.PartitionError, errors.StorageError)
+        assert issubclass(errors.RecordNotFound, errors.StorageError)
+        assert issubclass(errors.UnknownStructure, errors.CatalogError)
+        assert issubclass(errors.AccessMethodError, errors.CatalogError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.JobDefinitionError("x")
