@@ -1,0 +1,174 @@
+"""Extension: chaos — runtime and result completeness under fault injection.
+
+The paper's 128-node testbed lives in a world of transient IO errors,
+stragglers, and node failures; this benchmark measures what surviving that
+world costs.  One keyed-probe workload is swept across transient-fault
+rates under the two recovery policies:
+
+* ``on_error='retry'`` (generous budget) — the answer must stay identical
+  to the fault-free run; the *price* of chaos shows up as runtime overhead
+  from retries and backoff.
+* ``on_error='skip'`` (no retries) — every faulted unit is dropped, so
+  result completeness falls with the fault rate while runtime stays flat:
+  the latency-vs-completeness trade the policy knob exposes.
+
+A second matrix kills a node mid-run under both cluster engines and checks
+the survivors absorb its work and partitions without losing a row.
+
+Everything is seeded (``FaultPlan(seed=...)``), so the whole matrix is
+deterministic and replays byte-for-byte.
+
+Run::
+
+    pytest benchmarks/bench_ext_chaos.py --benchmark-only
+"""
+
+from repro.bench import SweepTable, format_factor, format_seconds
+from repro.cluster import Cluster, FaultPlan, NodeCrash
+from repro.config import EngineConfig, laptop_cluster_spec
+from repro.core import (FileLookupDereferencer, JobBuilder, Pointer, Record,
+                        StructureCatalog)
+from repro.engine import ReDeExecutor
+from repro.storage import DistributedFileSystem
+
+NUM_NODES = 8
+NUM_RECORDS = 2000
+NUM_PROBES = 600
+FAULT_RATES = (0.0, 0.01, 0.02, 0.05, 0.1, 0.2)
+SEED = 17
+
+
+def build_catalog():
+    dfs = DistributedFileSystem(num_nodes=NUM_NODES)
+    catalog = StructureCatalog(dfs)
+    catalog.register_file(
+        "events", [Record({"pk": i, "v": i % 7}) for i in range(NUM_RECORDS)],
+        lambda r: r["pk"])
+    return catalog
+
+
+def probe_job():
+    builder = JobBuilder("probes").dereference(
+        FileLookupDereferencer("events"))
+    for key in range(NUM_PROBES):
+        builder.input(Pointer("events", key, key))
+    return builder.build()
+
+
+def run_once(mode, plan, config):
+    cluster = Cluster(laptop_cluster_spec(NUM_NODES), fault_plan=plan)
+    executor = ReDeExecutor(cluster, build_catalog(), config=config,
+                            mode=mode)
+    return executor.execute(probe_job())
+
+
+def run_rate_sweep():
+    retry_config = EngineConfig(on_error="retry", max_retries=16)
+    skip_config = EngineConfig(on_error="skip", max_retries=0)
+    rows = {}
+    for rate in FAULT_RATES:
+        plan = (FaultPlan(seed=SEED, transient_io_rate=rate)
+                if rate > 0 else None)
+        retried = run_once("smpe", plan, retry_config)
+        skipped = run_once("smpe", plan, skip_config)
+        rows[rate] = {
+            "retry_seconds": retried.metrics.elapsed_seconds,
+            "retry_rows": len(retried.rows),
+            "retries": retried.metrics.retries,
+            "faults": retried.metrics.transient_faults,
+            "skip_seconds": skipped.metrics.elapsed_seconds,
+            "skip_rows": len(skipped.rows),
+            "dropped": (skipped.failure_report.dropped_units
+                        if skipped.failure_report else 0),
+        }
+    return rows
+
+
+def run_crash_matrix():
+    plan = FaultPlan(seed=SEED, node_crashes=(NodeCrash(3, 0.002),))
+    config = EngineConfig(on_error="retry")
+    rows = {}
+    for mode in ("smpe", "partitioned"):
+        clean = run_once(mode, None, config)
+        crashed = run_once(mode, plan, config)
+        rows[mode] = {
+            "clean_seconds": clean.metrics.elapsed_seconds,
+            "clean_rows": len(clean.rows),
+            "crash_seconds": crashed.metrics.elapsed_seconds,
+            "crash_rows": len(crashed.rows),
+            "reroutes": crashed.metrics.reroutes,
+            "complete": crashed.complete,
+        }
+    return rows
+
+
+def test_ext_chaos(benchmark, show, save_result):
+    rate_rows, crash_rows = benchmark.pedantic(
+        lambda: (run_rate_sweep(), run_crash_matrix()),
+        iterations=1, rounds=1)
+
+    base = rate_rows[0.0]["retry_seconds"]
+    table = SweepTable(
+        title=f"Extension: chaos sweep ({NUM_PROBES} probes, {NUM_NODES} "
+              f"nodes, seed {SEED})",
+        columns=["io-fault rate", "retry runtime", "overhead", "retries",
+                 "retry rows", "skip rows", "completeness"])
+    for rate, row in rate_rows.items():
+        table.add_row(
+            rate,
+            format_seconds(row["retry_seconds"]),
+            format_factor(row["retry_seconds"] / base),
+            row["retries"],
+            row["retry_rows"],
+            row["skip_rows"],
+            f"{row['skip_rows'] / NUM_PROBES:.1%}")
+    table.add_note("retry: max_retries=16 — answers stay complete, chaos "
+                   "is paid for in runtime; skip: max_retries=0 — runtime "
+                   "stays flat, chaos is paid for in completeness")
+    show(table)
+    save_result("ext_chaos", table)
+
+    crash_table = SweepTable(
+        title="Extension: node crash at t=2ms, survivors absorb the work",
+        columns=["engine", "fault-free", "with crash", "slowdown",
+                 "rows", "reroutes"])
+    for mode, row in crash_rows.items():
+        crash_table.add_row(
+            mode,
+            format_seconds(row["clean_seconds"]),
+            format_seconds(row["crash_seconds"]),
+            format_factor(row["crash_seconds"] / row["clean_seconds"]),
+            f"{row['crash_rows']}/{row['clean_rows']}",
+            row["reroutes"])
+    crash_table.add_note("same row set as the fault-free run in both "
+                         "engines; the dead node's partitions are served "
+                         "by its successor")
+    show(crash_table)
+    save_result("ext_chaos_crash", crash_table)
+
+    # Retry keeps every answer complete at every rate.
+    assert all(row["retry_rows"] == NUM_PROBES
+               for row in rate_rows.values())
+    # Fault counts and overhead grow with the rate.
+    faults = [rate_rows[r]["faults"] for r in FAULT_RATES]
+    assert faults == sorted(faults) and faults[-1] > 0
+    assert rate_rows[FAULT_RATES[-1]]["retry_seconds"] > base
+    # Skip trades completeness instead: monotone loss, never a crash.
+    skip_rows = [rate_rows[r]["skip_rows"] for r in FAULT_RATES]
+    assert skip_rows == sorted(skip_rows, reverse=True)
+    assert skip_rows[0] == NUM_PROBES and skip_rows[-1] < NUM_PROBES
+    for row in rate_rows.values():
+        assert row["skip_rows"] + row["dropped"] == NUM_PROBES
+    # Node crashes are absorbed without losing rows in either engine.
+    for row in crash_rows.values():
+        assert row["crash_rows"] == row["clean_rows"]
+        assert row["complete"]
+        assert row["reroutes"] > 0
+
+    # Determinism: the harshest chaos configuration replays exactly.
+    plan = FaultPlan(seed=SEED, transient_io_rate=FAULT_RATES[-1])
+    config = EngineConfig(on_error="retry", max_retries=16)
+    again = run_once("smpe", plan, config)
+    assert again.metrics.elapsed_seconds == \
+        rate_rows[FAULT_RATES[-1]]["retry_seconds"]
+    assert again.metrics.retries == rate_rows[FAULT_RATES[-1]]["retries"]

@@ -52,6 +52,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("inventory",
                         help="show a demo lake's structure catalog")
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run a fault-injected Q5' and print the failure report")
+    chaos.add_argument("--scale", type=float, default=0.002,
+                       help="TPC-H scale factor (default 0.002)")
+    chaos.add_argument("--nodes", type=int, default=4)
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="fault-plan seed (default 7)")
+    chaos.add_argument("--rate", type=float, default=0.05,
+                       help="transient IO-error rate (default 0.05)")
+    chaos.add_argument("--drop-rate", type=float, default=0.0,
+                       help="network message drop rate (default 0)")
+    chaos.add_argument("--policy", choices=("fail", "retry", "skip"),
+                       default="retry",
+                       help="on_error policy (default retry)")
+    chaos.add_argument("--max-retries", type=int, default=6,
+                       help="retry budget per dereference (default 6; a "
+                            "Q5'-sized job issues thousands of "
+                            "dereferences, so exhausting a small budget "
+                            "somewhere is near-certain)")
+    chaos.add_argument("--crash-node", type=int, default=None,
+                       help="also crash this node mid-run")
+    chaos.add_argument("--crash-at", type=float, default=0.01,
+                       help="crash time in simulated seconds "
+                            "(default 0.01)")
     return parser
 
 
@@ -145,6 +171,53 @@ def cmd_fig9(num_claims: int) -> int:
     return 0
 
 
+def cmd_chaos(scale: float, nodes: int, seed: int, rate: float,
+              drop_rate: float, policy: str, max_retries: int,
+              crash_node: Optional[int], crash_at: float) -> int:
+    """A small fault-injected Q5′: chaos run vs fault-free run, plus the
+    structured FailureReport of everything the chaos run lost."""
+    from repro.cluster import FaultPlan, NodeCrash
+    from repro.config import EngineConfig
+
+    workload = TpchWorkload(scale_factor=scale, seed=1, num_nodes=nodes,
+                            block_size=256 * 1024)
+    low, high = workload.date_range(0.2)
+    job = workload.q5_job(low, high)
+
+    clean = ReDeExecutor(workload.make_cluster(), workload.catalog,
+                         mode="smpe").execute(job)
+
+    crashes = ((NodeCrash(crash_node, crash_at),)
+               if crash_node is not None else ())
+    plan = FaultPlan(seed=seed, transient_io_rate=rate,
+                     network_drop_rate=drop_rate, node_crashes=crashes)
+    cluster = workload.make_cluster()
+    cluster.inject_faults(plan)
+    config = EngineConfig(on_error=policy, max_retries=max_retries)
+    chaotic = ReDeExecutor(cluster, workload.catalog, config=config,
+                           mode="smpe").execute(job)
+
+    summary = chaotic.metrics
+    print(f"Q5' under chaos (seed={seed}, io-rate={rate}, "
+          f"drop-rate={drop_rate}, policy={policy}"
+          + (f", crash node {crash_node}@{crash_at}s" if crashes else "")
+          + ")")
+    print(f"  fault-free: {len(clean.rows)} rows in "
+          f"{clean.metrics.elapsed_seconds * 1e3:.1f} simulated ms")
+    print(f"  chaos:      {len(chaotic.rows)} rows in "
+          f"{summary.elapsed_seconds * 1e3:.1f} simulated ms")
+    print(f"  faults observed: {summary.transient_faults} transient, "
+          f"{summary.timeouts} timeouts, {summary.node_crashes} crashes; "
+          f"{summary.retries} retries, {summary.reroutes} reroutes, "
+          f"{summary.tasks_skipped} units skipped")
+    if canonical_q5_rows_rede(chaotic) == canonical_q5_rows_rede(clean):
+        print("  result: identical to the fault-free answer")
+    else:
+        print("  result: PARTIAL — see the failure report")
+    print(chaotic.failure_report.render())
+    return 0
+
+
 def cmd_inventory() -> int:
     claims = ClaimsGenerator(num_claims=500, seed=1).generate()
     lake = ClaimsLake(claims, num_nodes=4)
@@ -166,4 +239,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_fig9(args.claims)
     if args.command == "inventory":
         return cmd_inventory()
+    if args.command == "chaos":
+        return cmd_chaos(args.scale, args.nodes, args.seed, args.rate,
+                         args.drop_rate, args.policy, args.max_retries,
+                         args.crash_node, args.crash_at)
     return 2  # pragma: no cover - argparse enforces the choices

@@ -2,6 +2,12 @@
 
 from repro.cluster.cluster import Cluster, ClusterSpec
 from repro.cluster.disk import Disk, DiskSpec
+from repro.cluster.faults import (
+    FaultInjector,
+    FaultPlan,
+    NodeCrash,
+    SlowDisk,
+)
 from repro.cluster.network import Network, NetworkSpec
 from repro.cluster.node import Node, NodeSpec
 from repro.cluster.simulation import (
@@ -12,6 +18,7 @@ from repro.cluster.simulation import (
     Store,
     Timeout,
     all_of,
+    any_of,
 )
 
 __all__ = [
@@ -19,6 +26,10 @@ __all__ = [
     "ClusterSpec",
     "Disk",
     "DiskSpec",
+    "FaultInjector",
+    "FaultPlan",
+    "NodeCrash",
+    "SlowDisk",
     "Network",
     "NetworkSpec",
     "Node",
@@ -30,4 +41,5 @@ __all__ = [
     "Store",
     "Timeout",
     "all_of",
+    "any_of",
 ]

@@ -11,10 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Generator, Optional
 
+from typing import Callable
+
+from repro.cluster.faults import FaultInjector, FaultPlan
 from repro.cluster.network import Network, NetworkSpec
 from repro.cluster.node import Node, NodeSpec
 from repro.cluster.simulation import Event, Simulator
-from repro.errors import SimulationError
+from repro.errors import NodeCrashed, SimulationError
 
 __all__ = ["ClusterSpec", "Cluster"]
 
@@ -35,7 +38,8 @@ class ClusterSpec:
 class Cluster:
     """A simulated cluster: ``num_nodes`` nodes behind one switch."""
 
-    def __init__(self, spec: Optional[ClusterSpec] = None) -> None:
+    def __init__(self, spec: Optional[ClusterSpec] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         self.spec = spec or ClusterSpec()
         self.sim = Simulator()
         self.nodes = [
@@ -43,6 +47,10 @@ class Cluster:
             for i in range(self.spec.num_nodes)
         ]
         self.network = Network(self.sim, self.spec.network, self.spec.num_nodes)
+        self.faults: Optional[FaultInjector] = None
+        self._crash_listeners: list[Callable[[int], None]] = []
+        if fault_plan is not None:
+            self.inject_faults(fault_plan)
 
     @property
     def num_nodes(self) -> int:
@@ -52,6 +60,60 @@ class Cluster:
         if not 0 <= node_id < self.num_nodes:
             raise SimulationError(f"no such node: {node_id}")
         return self.nodes[node_id]
+
+    # -- fault injection and membership ----------------------------------
+
+    def inject_faults(self, plan: FaultPlan) -> FaultInjector:
+        """Attach a seeded :class:`FaultPlan` to this cluster's hardware.
+
+        Arms the plan's crash timers on the event heap and hands every
+        disk and the network a reference to the injector.  One plan per
+        cluster: injecting twice is an error (compose one plan instead).
+        """
+        if self.faults is not None:
+            raise SimulationError("cluster already has a fault plan")
+        injector = FaultInjector(self, plan)
+        self.faults = injector
+        for node in self.nodes:
+            node.disk.faults = injector
+        self.network.faults = injector
+        injector.arm()
+        return injector
+
+    def alive(self, node_id: int) -> bool:
+        return self.node(node_id).alive
+
+    def alive_nodes(self) -> list[int]:
+        return [n.node_id for n in self.nodes if n.alive]
+
+    def serving_node(self, node_id: int) -> int:
+        """The node currently serving ``node_id``'s data and work.
+
+        Identity while the node is alive.  After a permanent crash, the
+        next alive node (scanning upward, wrapping) adopts the dead node's
+        partitions — the simulated equivalent of replica promotion in the
+        paper's distributed file system.  Deterministic by construction.
+        """
+        if self.nodes[node_id].alive:
+            return node_id
+        for step in range(1, self.num_nodes):
+            candidate = (node_id + step) % self.num_nodes
+            if self.nodes[candidate].alive:
+                return candidate
+        raise NodeCrashed("every node in the cluster has crashed",
+                          node=node_id)
+
+    def on_node_crash(self, listener: Callable[[int], None]) -> None:
+        """Register ``listener(node_id)`` to run at node-crash time."""
+        self._crash_listeners.append(listener)
+
+    def remove_crash_listener(self, listener: Callable[[int], None]) -> None:
+        if listener in self._crash_listeners:
+            self._crash_listeners.remove(listener)
+
+    def _notify_crash(self, node_id: int) -> None:
+        for listener in list(self._crash_listeners):
+            listener(node_id)
 
     # -- convenience wrappers over the simulator -------------------------
 

@@ -21,10 +21,14 @@ scan up.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator
+from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.cluster.simulation import Resource, Simulator
-from repro.errors import SimulationError
+from repro.errors import NodeCrashed, SimulationError, TransientIOError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.faults import FaultInjector
+    from repro.cluster.node import Node
 
 __all__ = ["DiskSpec", "Disk"]
 
@@ -68,14 +72,45 @@ class Disk:
         self._spindles = Resource(sim, spec.spindles, name=f"{name}.spindles")
         self._scan_channel = Resource(sim, 1, name=f"{name}.scan")
         self.random_reads = 0
+        self.bytes_read = 0
         self.bytes_scanned = 0
+        #: owning node (set by Node); carries liveness for crash checks
+        self.node: Optional["Node"] = None
+        #: fault source (set by Cluster.inject_faults); None = reliable
+        self.faults: Optional["FaultInjector"] = None
+
+    def _check_alive(self) -> None:
+        if self.node is not None and not self.node.alive:
+            raise NodeCrashed(
+                f"node {self.node.node_id} crashed; its disk is gone",
+                node=self.node.node_id)
+
+    def _service_factor(self) -> float:
+        if self.faults is None or self.node is None:
+            return 1.0
+        return self.faults.disk_factor(self.node.node_id)
 
     def random_read(self, nbytes: int = 0) -> Generator:
-        """Process helper: one random point read (a ReDe dereference IO)."""
-        self.random_reads += 1
+        """Process helper: one random point read (a ReDe dereference IO).
+
+        The read is accounted (op count and bytes) only once a spindle is
+        acquired: queued-but-unserved reads must not inflate the stats.
+        With faults attached, the read may fail transiently *after* paying
+        its service time (a failed IO still occupies the spindle), and any
+        read against a crashed node raises :class:`NodeCrashed`.
+        """
+        self._check_alive()
         yield self._spindles.request()
         try:
-            yield self.sim.timeout(self.spec.random_service_time)
+            self.random_reads += 1
+            self.bytes_read += nbytes if nbytes > 0 else self.spec.page_size
+            yield self.sim.timeout(
+                self.spec.random_service_time * self._service_factor())
+            self._check_alive()
+            if (self.faults is not None and self.node is not None
+                    and self.faults.draw_io_fault(self.node.node_id)):
+                raise TransientIOError(
+                    f"transient IO error on {self._spindles.name}")
         finally:
             self._spindles.release()
 
@@ -88,10 +123,13 @@ class Disk:
         """
         if nbytes < 0:
             raise SimulationError(f"negative scan size: {nbytes}")
+        self._check_alive()
         self.bytes_scanned += nbytes
         yield self._scan_channel.request()
         try:
-            yield self.sim.timeout(nbytes / self.spec.seq_bandwidth)
+            yield self.sim.timeout(nbytes / self.spec.seq_bandwidth
+                                   * self._service_factor())
+            self._check_alive()
         finally:
             self._scan_channel.release()
 

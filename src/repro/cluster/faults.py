@@ -1,0 +1,219 @@
+"""Deterministic, seeded fault injection for the simulated cluster.
+
+The paper evaluates ReDe on a 128-node cluster where transient IO errors,
+straggler disks, and node crashes are routine; this module makes the
+simulated substrate able to misbehave the same way, *deterministically*:
+
+* :class:`FaultPlan` — a frozen, seeded description of everything that will
+  go wrong: transient IO-error rates, slow-disk straggler degradation from
+  a point in time, node crash-at-time-T, and network message drops.
+* :class:`FaultInjector` — the runtime: attached to a
+  :class:`~repro.cluster.cluster.Cluster`, it arms crash timers on the
+  event heap and answers the per-operation fault draws the hardware models
+  consult.
+
+Determinism: every draw comes from a per-node ``random.Random`` stream
+seeded arithmetically from ``(plan.seed, node_id, channel)`` (never from
+string hashes, which are salted per process), and the event kernel fires
+simultaneous events in scheduling order — so a seeded fault plan produces
+byte-for-byte identical fault sequences, timings, and engine recoveries
+across runs and machines.
+
+The injector only *raises* faults; surviving them is the engines' job (see
+``repro.engine.access.resilient_dereference`` and the recovery paths in
+``SmpeEngine`` / ``PartitionedEngine``).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.cluster import Cluster
+
+__all__ = ["SlowDisk", "NodeCrash", "FaultPlan", "FaultInjector"]
+
+#: channel tags for decorrelated per-node RNG streams
+_IO_CHANNEL = 1
+_NET_CHANNEL = 2
+
+
+def _stream(seed: int, node_id: int, channel: int) -> random.Random:
+    """A dedicated RNG stream for one (node, fault channel) pair.
+
+    Seeds are derived arithmetically (no string hashing) so streams are
+    reproducible across processes regardless of ``PYTHONHASHSEED``.
+    """
+    return random.Random(seed * 1_000_003 + node_id * 7919 + channel)
+
+
+@dataclass(frozen=True)
+class SlowDisk:
+    """Straggler degradation: one node's disk slows down from a point in time.
+
+    From ``from_time`` on, every IO on ``node``'s disk array takes
+    ``factor``× its nominal service time — the gray-failure mode (a sick
+    RAID controller, a rebuilding array) that per-invocation timeouts are
+    designed to surface.
+    """
+
+    node: int
+    from_time: float = 0.0
+    factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise SimulationError(
+                f"slow-disk factor must be >= 1, got {self.factor}")
+        if self.from_time < 0:
+            raise SimulationError("slow-disk from_time must be >= 0")
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Permanent node failure at a fixed simulated time."""
+
+    node: int
+    at_time: float
+
+    def __post_init__(self) -> None:
+        if self.at_time <= 0:
+            raise SimulationError(
+                "crash time must be > 0 (nodes must exist before they die)")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that will go wrong in one simulated run, seeded.
+
+    Attributes:
+        seed: root seed of all per-node fault streams.
+        transient_io_rate: probability that any one random disk read fails
+            with :class:`~repro.errors.TransientIOError` (after paying its
+            service time, as a real failed IO does).
+        network_drop_rate: probability that any one network message is lost
+            in transit (fails after paying its transmission time).
+        slow_disks: straggler degradations (see :class:`SlowDisk`).
+        node_crashes: permanent node failures (see :class:`NodeCrash`).
+    """
+
+    seed: int = 0
+    transient_io_rate: float = 0.0
+    network_drop_rate: float = 0.0
+    slow_disks: tuple[SlowDisk, ...] = ()
+    node_crashes: tuple[NodeCrash, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("transient_io_rate", "network_drop_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise SimulationError(
+                    f"{name} must be in [0, 1), got {rate}")
+        # Accept lists for convenience; store canonical tuples.
+        object.__setattr__(self, "slow_disks", tuple(self.slow_disks))
+        object.__setattr__(self, "node_crashes", tuple(self.node_crashes))
+        crashed = [c.node for c in self.node_crashes]
+        if len(crashed) != len(set(crashed)):
+            raise SimulationError("a node cannot crash twice")
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (self.transient_io_rate == 0.0
+                and self.network_drop_rate == 0.0
+                and not self.slow_disks and not self.node_crashes)
+
+
+class FaultInjector:
+    """Runtime fault source bound to one cluster.
+
+    Created by :meth:`Cluster.inject_faults`; the hardware models hold a
+    reference and consult it per operation:
+
+    * ``draw_io_fault`` / ``draw_net_drop`` — seeded Bernoulli draws;
+    * ``disk_factor`` — current straggler slowdown of a node's disk;
+    * ``node_alive`` — liveness (crash timers armed on the event heap
+      flip this and notify the cluster's crash listeners).
+
+    ``stats`` counts every fault actually injected, keyed by kind — the
+    ground truth the chaos tests compare engine metrics against.
+    """
+
+    def __init__(self, cluster: "Cluster", plan: FaultPlan) -> None:
+        num_nodes = cluster.num_nodes
+        for slow in plan.slow_disks:
+            if not 0 <= slow.node < num_nodes:
+                raise SimulationError(f"slow disk on unknown node {slow.node}")
+        for crash in plan.node_crashes:
+            if not 0 <= crash.node < num_nodes:
+                raise SimulationError(f"crash of unknown node {crash.node}")
+        if len({c.node for c in plan.node_crashes}) >= num_nodes:
+            raise SimulationError("a fault plan cannot crash every node")
+        self.cluster = cluster
+        self.plan = plan
+        self.sim = cluster.sim
+        self._io_rngs = [_stream(plan.seed, n, _IO_CHANNEL)
+                         for n in range(num_nodes)]
+        self._net_rngs = [_stream(plan.seed, n, _NET_CHANNEL)
+                          for n in range(num_nodes)]
+        self._slow = {s.node: s for s in plan.slow_disks}
+        self.stats: Counter = Counter()
+
+    # -- arming ----------------------------------------------------------
+
+    def arm(self) -> None:
+        """Schedule the plan's crash timers on the cluster's event heap."""
+        for crash in self.plan.node_crashes:
+            timer = self.sim.timeout(crash.at_time)
+            timer.add_callback(
+                lambda _event, node=crash.node: self._kill(node))
+
+    def _kill(self, node_id: int) -> None:
+        node = self.cluster.node(node_id)
+        if not node.alive:  # pragma: no cover - plans forbid double crashes
+            return
+        node.alive = False
+        node.crashed_at = self.sim.now
+        self.stats["node-crash"] += 1
+        self.cluster._notify_crash(node_id)
+
+    # -- per-operation draws ---------------------------------------------
+
+    def node_alive(self, node_id: int) -> bool:
+        return self.cluster.node(node_id).alive
+
+    def draw_io_fault(self, node_id: int) -> bool:
+        """True when this random read should fail transiently."""
+        rate = self.plan.transient_io_rate
+        if rate <= 0.0:
+            return False
+        hit = self._io_rngs[node_id].random() < rate
+        if hit:
+            self.stats["transient-io"] += 1
+        return hit
+
+    def draw_net_drop(self, src: int) -> bool:
+        """True when this network message should be dropped."""
+        rate = self.plan.network_drop_rate
+        if rate <= 0.0:
+            return False
+        hit = self._net_rngs[src].random() < rate
+        if hit:
+            self.stats["network-drop"] += 1
+        return hit
+
+    def disk_factor(self, node_id: int) -> float:
+        """Current service-time multiplier of a node's disk array."""
+        slow = self._slow.get(node_id)
+        if slow is None or self.sim.now < slow.from_time:
+            return 1.0
+        return slow.factor
+
+    @property
+    def has_crashes(self) -> bool:
+        return bool(self.plan.node_crashes)

@@ -11,10 +11,13 @@ grace hash join) are properly bandwidth-bound.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator
+from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.cluster.simulation import Resource, Simulator
-from repro.errors import SimulationError
+from repro.errors import NodeCrashed, SimulationError, TransientIOError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.faults import FaultInjector
 
 __all__ = ["NetworkSpec", "Network"]
 
@@ -52,17 +55,29 @@ class Network:
         ]
         self.messages = 0
         self.bytes_sent = 0
+        #: fault source (set by Cluster.inject_faults); None = reliable
+        self.faults: Optional["FaultInjector"] = None
+
+    def _check_alive(self, node_id: int) -> None:
+        if self.faults is not None and not self.faults.node_alive(node_id):
+            raise NodeCrashed(f"node {node_id} crashed; message undeliverable",
+                              node=node_id)
 
     def transfer(self, src: int, dst: int, nbytes: int) -> Generator:
         """Process helper: move ``nbytes`` from node ``src`` to node ``dst``.
 
         Local transfers (``src == dst``) are free — the engines use this
         helper unconditionally so locality emerges from partition placement.
+        With faults attached, a message may be dropped (after paying its
+        transmission time) and messages to/from crashed nodes raise
+        :class:`NodeCrashed`.
         """
         if src == dst:
             return
         if nbytes < 0:
             raise SimulationError(f"negative transfer size: {nbytes}")
+        self._check_alive(src)
+        self._check_alive(dst)
         self.messages += 1
         self.bytes_sent += nbytes
         nic = self._nics[src]
@@ -72,6 +87,10 @@ class Network:
         finally:
             nic.release()
         yield self.sim.timeout(self.spec.latency)
+        self._check_alive(dst)
+        if self.faults is not None and self.faults.draw_net_drop(src):
+            raise TransientIOError(
+                f"network drop: message {src} -> {dst} lost")
 
     def request_response(self, src: int, dst: int, request_bytes: int,
                          response_bytes: int) -> Generator:

@@ -10,9 +10,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator
 
+from typing import Optional
+
 from repro.cluster.disk import Disk, DiskSpec
 from repro.cluster.simulation import Resource, Simulator
-from repro.errors import SimulationError
+from repro.errors import NodeCrashed, SimulationError
 
 __all__ = ["NodeSpec", "Node"]
 
@@ -46,16 +48,27 @@ class Node:
         self.node_id = node_id
         self.cores = Resource(sim, spec.cores, name=f"node{node_id}.cores")
         self.disk = Disk(sim, spec.disk, name=f"node{node_id}.disk")
+        self.disk.node = self
         self.cpu_seconds = 0.0
+        #: liveness: flipped permanently by FaultInjector node crashes
+        self.alive = True
+        self.crashed_at: Optional[float] = None
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise NodeCrashed(f"node {self.node_id} crashed",
+                              node=self.node_id)
 
     def compute(self, seconds: float) -> Generator:
         """Process helper: hold one core for ``seconds`` of CPU work."""
         if seconds < 0:
             raise SimulationError(f"negative compute time: {seconds}")
+        self._check_alive()
         self.cpu_seconds += seconds
         yield self.cores.request()
         try:
             yield self.sim.timeout(seconds)
+            self._check_alive()
         finally:
             self.cores.release()
 

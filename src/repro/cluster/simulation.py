@@ -37,6 +37,7 @@ __all__ = [
     "Resource",
     "Store",
     "all_of",
+    "any_of",
 ]
 
 
@@ -262,6 +263,16 @@ class Store:
             self._getters.append(event)
         return event
 
+    def drain(self) -> list[Any]:
+        """Remove and return every queued item (blocked getters stay blocked).
+
+        Node-failure recovery uses this to take over a dead node's pending
+        queue entries and re-route them to survivors.
+        """
+        items = list(self._items)
+        self._items.clear()
+        return items
+
     def __len__(self) -> int:
         return len(self._items)
 
@@ -289,6 +300,31 @@ def all_of(sim: "Simulator", events: Iterable[Event]) -> Event:
             state["left"] -= 1
             if state["left"] == 0:
                 result.succeed(values)
+
+        return callback
+
+    for i, event in enumerate(events):
+        event.add_callback(make_callback(i))
+    return result
+
+
+def any_of(sim: "Simulator", events: Iterable[Event]) -> Event:
+    """Return an event that fires when the *first* of ``events`` fires.
+
+    The aggregate's value is ``(index, value)`` of the winner; later
+    finishers are ignored.  This is the race primitive behind invocation
+    timeouts: wait on ``any_of(sim, [work, timer])`` and check which side
+    won.  An empty input is an error (the race could never settle).
+    """
+    events = list(events)
+    if not events:
+        raise SimulationError("any_of needs at least one event")
+    result = Event(sim)
+
+    def make_callback(index: int) -> Callable[[Event], None]:
+        def callback(event: Event) -> None:
+            if result.callbacks is not None and not result._scheduled():
+                result.succeed((index, event.value))
 
         return callback
 
@@ -337,6 +373,9 @@ class Simulator:
 
     def all_of(self, events: Iterable[Event]) -> Event:
         return all_of(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        return any_of(self, events)
 
     # -- the event loop --------------------------------------------------
 

@@ -107,6 +107,19 @@ class EngineConfig:
         max_sim_time: guard rail for runaway simulations (simulated seconds).
         trace: record a :class:`~repro.engine.trace.TraceEvent` per
             dereference IO (virtual timeline analysis; off by default).
+        on_error: failure policy for faulted work units —
+            ``"fail"`` aborts the job on the first fault (default),
+            ``"retry"`` retries transient faults and aborts on exhaustion,
+            ``"skip"`` retries, then drops the failing unit and records it
+            in the job's :class:`~repro.engine.metrics.FailureReport`.
+        max_retries: retry budget per dereference invocation (transient
+            faults and timeouts; node-crash re-routing is not counted).
+        retry_backoff_base: first retry delay in simulated seconds; doubles
+            per attempt (capped exponential backoff).
+        retry_backoff_cap: upper bound on one backoff delay.
+        dereference_timeout: per-invocation timeout in simulated seconds;
+            a dereference exceeding it is abandoned and treated as a
+            transient fault (straggler mitigation).  0 disables timeouts.
     """
 
     thread_pool_size: int = 1000
@@ -115,6 +128,22 @@ class EngineConfig:
     pointer_bytes: int = 64
     max_sim_time: float = 1e7
     trace: bool = False
+    on_error: str = "fail"
+    max_retries: int = 3
+    retry_backoff_base: float = 0.002
+    retry_backoff_cap: float = 0.05
+    dereference_timeout: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.on_error not in ("fail", "retry", "skip"):
+            raise ValueError(
+                f"on_error must be fail|retry|skip, got {self.on_error!r}")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff_base < 0 or self.retry_backoff_cap < 0:
+            raise ValueError("retry backoff times must be >= 0")
+        if self.dereference_timeout < 0:
+            raise ValueError("dereference_timeout must be >= 0")
 
 
 DEFAULT_ENGINE_CONFIG = EngineConfig()

@@ -5,7 +5,8 @@ from repro.engine.aggregate import aggregate, distinct_sum, group_by
 from repro.engine.executor import ReDeExecutor
 from repro.engine.hybrid import CostModel, HybridExecutor, HybridResult, \
     PlanChoice
-from repro.engine.metrics import ExecutionMetrics, JobResult
+from repro.engine.metrics import (ExecutionMetrics, FailureRecord,
+                                  FailureReport, JobResult)
 from repro.engine.partitioned import PartitionedEngine
 from repro.engine.reference import ReferenceExecutor
 from repro.engine.smpe import SmpeEngine
@@ -20,6 +21,8 @@ __all__ = [
     "HybridResult",
     "PlanChoice",
     "ExecutionMetrics",
+    "FailureRecord",
+    "FailureReport",
     "JobResult",
     "PartitionedEngine",
     "ReferenceExecutor",

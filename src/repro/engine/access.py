@@ -24,12 +24,14 @@ from repro.core.pointers import Pointer, PointerRange
 from repro.core.records import Record
 from repro.engine.metrics import ExecutionMetrics
 from repro.engine.trace import TraceEvent
-from repro.errors import ExecutionError
+from repro.errors import (DereferenceTimeout, ExecutionError, FaultError,
+                          NodeCrashed, TransientIOError)
 from repro.storage.files import BtreeFile, File
 from repro.storage.partitioner import RangePartitioner
 
 __all__ = ["resolve_partitions", "initial_probe_pids",
-           "simulated_dereference", "count_only_dereference"]
+           "simulated_dereference", "resilient_dereference",
+           "count_only_dereference", "classify_failure"]
 
 Target = Union[Pointer, PointerRange]
 
@@ -130,8 +132,12 @@ def simulated_dereference(cluster: Cluster, config: EngineConfig,
 
     Charges IO/network/CPU in virtual time and *returns* the filtered
     records (use with ``yield from``).
+
+    The owning node is resolved through :meth:`Cluster.serving_node`, so
+    after a permanent node crash the IO lands on the survivor that adopted
+    the dead node's partitions (replica promotion) instead of a dead disk.
     """
-    owner = file.node_of(partition_id)
+    owner = cluster.serving_node(file.node_of(partition_id))
     start_time = cluster.sim.now
     records = dereferencer.fetch(file, target, partition_id)
     is_index = isinstance(file, BtreeFile)
@@ -158,6 +164,136 @@ def simulated_dereference(cluster: Cluster, config: EngineConfig,
             owner_node=owner, num_records=len(records),
             start=start_time, end=cluster.sim.now))
     return dereferencer.apply_filter(records, context)
+
+
+def classify_failure(exc: BaseException) -> str:
+    """FailureRecord kind for an exception the resilience layer caught."""
+    if isinstance(exc, ExecutionError) and isinstance(exc.__cause__,
+                                                      FaultError):
+        exc = exc.__cause__
+    if isinstance(exc, DereferenceTimeout):
+        return "timeout"
+    if isinstance(exc, NodeCrashed):
+        return "node-crash"
+    if isinstance(exc, TransientIOError):
+        return "transient-io"
+    return "user-error"
+
+
+def _trace_fault(cluster: Cluster, metrics: ExecutionMetrics, stage: int,
+                 node: int, partition_id: int, kind: str) -> None:
+    if metrics.trace is not None:
+        now = cluster.sim.now
+        metrics.trace.append(TraceEvent(
+            stage=stage, node=node, partition=partition_id,
+            owner_node=node, num_records=0, start=now, end=now, kind=kind))
+
+
+def _timed_dereference(cluster: Cluster, config: EngineConfig,
+                       metrics: ExecutionMetrics, stage: int,
+                       dereferencer: Dereferencer, file: File,
+                       target: Target, partition_id: int,
+                       executing_node: int, context: Any) -> Iterator:
+    """One dereference attempt raced against the invocation timeout.
+
+    The attempt runs as its own simulated process so the caller can
+    abandon it: when the timer wins, the in-flight IO keeps occupying its
+    resources (as a real abandoned request would) but its records and any
+    late exception are discarded, and :class:`DereferenceTimeout` is
+    raised for the retry loop to handle.
+    """
+
+    def attempt():
+        try:
+            records = yield from simulated_dereference(
+                cluster, config, metrics, stage, dereferencer, file, target,
+                partition_id, executing_node, context)
+        except Exception as exc:  # captured: the waiter decides what to do
+            return ("error", exc)
+        return ("ok", records)
+
+    sim = cluster.sim
+    proc = sim.process(attempt(), name=f"deref-attempt@{executing_node}")
+    timer = sim.timeout(config.dereference_timeout)
+    index, value = yield sim.any_of([proc, timer])
+    if index == 1:
+        raise DereferenceTimeout(
+            f"dereference of {file.name!r} partition {partition_id} "
+            f"exceeded {config.dereference_timeout}s on node "
+            f"{executing_node}")
+    outcome, payload = value
+    if outcome == "error":
+        raise payload
+    return payload
+
+
+def resilient_dereference(cluster: Cluster, config: EngineConfig,
+                          metrics: ExecutionMetrics, stage: int,
+                          dereferencer: Dereferencer, file: File,
+                          target: Target, partition_id: int,
+                          executing_node: int, context: Any) -> Iterator:
+    """Fault-tolerant dereference: retries, timeouts, crash re-routing.
+
+    The engines' resilience path around :func:`simulated_dereference`:
+
+    * **transient faults** (IO errors, network drops) and **timeouts** are
+      retried with capped exponential backoff *in simulated time*, up to
+      ``config.max_retries``, unless ``on_error='fail'`` (then the first
+      fault propagates immediately); exhaustion raises
+      :class:`ExecutionError` with the final fault chained as its cause;
+    * **node crashes** re-route: the executing side re-resolves through
+      :meth:`Cluster.serving_node` each attempt, and the owner side is
+      re-resolved inside :func:`simulated_dereference`, so in-flight work
+      moves to survivors without consuming the retry budget;
+    * user-code exceptions are never retried — they propagate unchanged.
+
+    When a fault plan is not injected this adds zero simulated events and
+    is byte-for-byte identical to calling :func:`simulated_dereference`.
+    """
+    attempt = 0
+    crash_hops = 0
+    while True:
+        exec_node = cluster.serving_node(executing_node)
+        try:
+            if config.dereference_timeout > 0:
+                records = yield from _timed_dereference(
+                    cluster, config, metrics, stage, dereferencer, file,
+                    target, partition_id, exec_node, context)
+            else:
+                records = yield from simulated_dereference(
+                    cluster, config, metrics, stage, dereferencer, file,
+                    target, partition_id, exec_node, context)
+            return records
+        except NodeCrashed as exc:
+            crash_hops += 1
+            metrics.count_fault("node-crash")
+            _trace_fault(cluster, metrics, stage, exec_node, partition_id,
+                         "fault:node-crash")
+            if crash_hops > cluster.num_nodes:
+                raise ExecutionError(
+                    f"no surviving node could serve {file.name!r} "
+                    f"partition {partition_id}") from exc
+            continue
+        except TransientIOError as exc:
+            kind = classify_failure(exc)
+            metrics.count_fault(kind)
+            _trace_fault(cluster, metrics, stage, exec_node, partition_id,
+                         f"fault:{kind}")
+            if config.on_error == "fail":
+                raise
+            if attempt >= config.max_retries:
+                raise ExecutionError(
+                    f"dereference of {file.name!r} partition {partition_id} "
+                    f"on node {exec_node} failed after {attempt} "
+                    f"retr{'ies' if attempt != 1 else 'y'}") from exc
+            delay = min(config.retry_backoff_cap,
+                        config.retry_backoff_base * (2.0 ** attempt))
+            attempt += 1
+            metrics.retries += 1
+            _trace_fault(cluster, metrics, stage, exec_node, partition_id,
+                         "retry")
+            if delay > 0:
+                yield cluster.sim.timeout(delay)
 
 
 def count_only_dereference(metrics: ExecutionMetrics, stage: int,

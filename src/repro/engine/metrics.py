@@ -12,11 +12,11 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.core.job import OutputRow
 
-__all__ = ["ExecutionMetrics", "JobResult"]
+__all__ = ["ExecutionMetrics", "FailureRecord", "FailureReport", "JobResult"]
 
 
 @dataclass
@@ -46,6 +46,18 @@ class ExecutionMetrics:
     #: mean fraction of disk spindles busy during the run (0..1) — how
     #: close the engine came to the IOPS capacity SMPE is built to exploit
     disk_utilization: float = 0.0
+    #: transient IO / network faults the engine observed (pre-retry)
+    transient_faults: int = 0
+    #: dereference invocations abandoned by the per-invocation timeout
+    timeouts: int = 0
+    #: retry attempts issued (capped exponential backoff, simulated time)
+    retries: int = 0
+    #: dereference attempts re-routed to a survivor after a node crash
+    reroutes: int = 0
+    #: work units dropped under ``on_error='skip'`` (see the FailureReport)
+    tasks_skipped: int = 0
+    #: node crashes observed while this job was running
+    node_crashes: int = 0
     #: per-dereference timeline events when tracing is enabled, else None
     trace: Any = None
 
@@ -69,6 +81,15 @@ class ExecutionMetrics:
         self.remote_fetches += 1
         self.bytes_transferred += nbytes
 
+    def count_fault(self, kind: str) -> None:
+        """Account one observed fault by kind (see FailureRecord kinds)."""
+        if kind == "timeout":
+            self.timeouts += 1
+        elif kind == "node-crash":
+            self.reroutes += 1
+        else:
+            self.transient_faults += 1
+
     def summary(self) -> dict[str, Any]:
         """Flat dict view for reports and benchmark tables."""
         return {
@@ -80,7 +101,80 @@ class ExecutionMetrics:
             "bytes_transferred": self.bytes_transferred,
             "peak_parallelism": self.peak_parallelism,
             "elapsed_seconds": self.elapsed_seconds,
+            "transient_faults": self.transient_faults,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "reroutes": self.reroutes,
+            "tasks_skipped": self.tasks_skipped,
+            "node_crashes": self.node_crashes,
         }
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One work unit the engine could not complete.
+
+    ``kind`` is one of ``"transient-io"`` (exhausted retries on IO or
+    network faults), ``"timeout"`` (exhausted retries on invocation
+    timeouts), ``"node-crash"`` (no survivor could serve the unit), or
+    ``"user-error"`` (application code raised; never retried).
+    """
+
+    stage: int
+    node: int
+    partition: Optional[int]
+    kind: str
+    error: str
+    attempts: int
+    time: float
+
+
+@dataclass
+class FailureReport:
+    """Structured account of everything a run lost.
+
+    Attached to every cluster-engine :class:`JobResult`; empty means the
+    run completed with no work dropped.  Under ``on_error='skip'`` this is
+    the contract that makes partial results honest: each dropped stage
+    input is recorded, so "what is missing" is exact rather than implied.
+    """
+
+    records: list[FailureRecord] = field(default_factory=list)
+
+    def add(self, record: FailureRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def dropped_units(self) -> int:
+        return len(self.records)
+
+    def __bool__(self) -> bool:
+        return bool(self.records)
+
+    def counts_by_kind(self) -> dict[str, int]:
+        return dict(Counter(r.kind for r in self.records))
+
+    def counts_by_stage(self) -> dict[int, int]:
+        return dict(Counter(r.stage for r in self.records))
+
+    def render(self) -> str:
+        """Human-readable account, one line per dropped unit."""
+        if not self.records:
+            return "FailureReport: complete result, nothing lost"
+        by_kind = ", ".join(f"{k}={v}" for k, v in
+                            sorted(self.counts_by_kind().items()))
+        lines = [f"FailureReport: {self.dropped_units} work unit"
+                 f"{'s' if self.dropped_units != 1 else ''} lost "
+                 f"({by_kind})"]
+        for r in self.records:
+            where = (f"partition {r.partition}" if r.partition is not None
+                     else "n/a")
+            lines.append(
+                f"  stage {r.stage:2d} node {r.node} {where:<13s} "
+                f"{r.kind:<13s} after {r.attempts} attempt"
+                f"{'s' if r.attempts != 1 else ''} at {r.time * 1e3:.2f}ms: "
+                f"{r.error}")
+        return "\n".join(lines)
 
 
 @dataclass
@@ -89,6 +183,14 @@ class JobResult:
 
     rows: list[OutputRow]
     metrics: ExecutionMetrics
+    #: what the run lost (cluster engines always attach one; the in-memory
+    #: reference executor, which cannot fault, leaves it None)
+    failure_report: Optional[FailureReport] = None
+
+    @property
+    def complete(self) -> bool:
+        """True when no work unit was dropped."""
+        return not self.failure_report
 
     def __len__(self) -> int:
         return len(self.rows)

@@ -8,6 +8,12 @@ the only parallelism is the one-worker-per-node horizontal kind that
 conventional data-lake engines already have.  Same structures, same IO
 charges, same answers; the contrast with :class:`~repro.engine.smpe.
 SmpeEngine` isolates the contribution of dynamic fine-grained parallelism.
+
+Fault tolerance mirrors the SMPE engine: every dereference goes through
+:func:`~repro.engine.access.resilient_dereference` (retry/backoff,
+timeouts, crash re-routing via replica promotion), and
+``EngineConfig.on_error`` decides whether an unsalvageable unit aborts the
+job or is dropped into the :class:`~repro.engine.metrics.FailureReport`.
 """
 
 from __future__ import annotations
@@ -21,10 +27,11 @@ from repro.core.functions import Dereferencer, Referencer
 from repro.core.job import Job, OutputRow
 from repro.core.pointers import Pointer, PointerRange
 from repro.core.records import Record
-from repro.engine.access import (initial_probe_pids, resolve_partitions,
-                                 simulated_dereference)
-from repro.engine.metrics import ExecutionMetrics, JobResult
-from repro.errors import ExecutionError
+from repro.engine.access import (classify_failure, initial_probe_pids,
+                                 resilient_dereference, resolve_partitions)
+from repro.engine.metrics import (ExecutionMetrics, FailureRecord,
+                                  FailureReport, JobResult)
+from repro.errors import ExecutionError, JobAborted
 
 __all__ = ["PartitionedEngine"]
 
@@ -46,10 +53,11 @@ class PartitionedEngine:
         if self.config.trace:
             metrics.trace = []
         results: list[OutputRow] = []
+        failures = FailureReport()
 
         def job_process():
             workers = [self.cluster.launch(
-                self._node_worker(job, metrics, results, node_id),
+                self._node_worker(job, metrics, failures, results, node_id),
                 name=f"part-node{node_id}")
                 for node_id in range(self.cluster.num_nodes)]
             yield self.cluster.sim.all_of(workers)
@@ -57,9 +65,18 @@ class PartitionedEngine:
         start = self.cluster.sim.now
         busy_snaps = [node.disk.spindle_busy_snapshot()
                       for node in self.cluster.nodes]
-        __, elapsed = self.cluster.run_job(
-            job_process(), name=f"partitioned:{job.name}",
-            max_time=max_time or self.config.max_sim_time)
+        listener = None
+        if self.cluster.faults is not None:
+            def listener(dead: int) -> None:
+                metrics.node_crashes += 1
+            self.cluster.on_node_crash(listener)
+        try:
+            __, elapsed = self.cluster.run_job(
+                job_process(), name=f"partitioned:{job.name}",
+                max_time=max_time or self.config.max_sim_time)
+        finally:
+            if listener is not None:
+                self.cluster.remove_crash_listener(listener)
         metrics.elapsed_seconds = elapsed
         metrics.peak_parallelism = self.cluster.num_nodes
         if limit is not None and len(results) > limit:
@@ -72,14 +89,41 @@ class PartitionedEngine:
                 / (node.disk.spindle_count * window)
                 for node, snap in zip(self.cluster.nodes, busy_snaps)
             ) / self.cluster.num_nodes
-        return JobResult(results, metrics)
+        return JobResult(results, metrics, failure_report=failures)
 
     def _limit_reached(self, results: list[OutputRow]) -> bool:
         limit = getattr(self, "_limit", None)
         return limit is not None and len(results) >= limit
 
+    def _deref(self, metrics: ExecutionMetrics, failures: FailureReport,
+               stage: int, function: Dereferencer, file, target, pid: int,
+               node_id: int, context: Mapping[str, Any]):
+        """One policy-governed dereference; returns ``[]`` for a unit
+        dropped under ``on_error='skip'``."""
+        try:
+            records = yield from resilient_dereference(
+                self.cluster, self.config, metrics, stage, function, file,
+                target, pid, node_id, context)
+        except Exception as exc:
+            kind = classify_failure(exc)
+            if self.config.on_error == "skip":
+                metrics.tasks_skipped += 1
+                failures.add(FailureRecord(
+                    stage=stage, node=node_id, partition=pid, kind=kind,
+                    error=str(exc), time=self.cluster.sim.now,
+                    attempts=1 if kind == "user-error"
+                    else self.config.max_retries + 1))
+                return []
+            if kind == "user-error" or isinstance(exc, ExecutionError):
+                raise
+            raise JobAborted(
+                f"job aborted by {kind} fault on node {node_id}: "
+                f"{exc}") from exc
+        return records
+
     def _node_worker(self, job: Job, metrics: ExecutionMetrics,
-                     results: list[OutputRow], node_id: int):
+                     failures: FailureReport, results: list[OutputRow],
+                     node_id: int):
         """One sequential pass over this node's share of the job inputs."""
         dereferencer = job.functions[0]
         assert isinstance(dereferencer, Dereferencer)
@@ -89,15 +133,16 @@ class PartitionedEngine:
                 return
             pids = initial_probe_pids(file, target, node_id)
             for pid in pids:
-                records = yield from simulated_dereference(
-                    self.cluster, self.config, metrics, 0, dereferencer,
-                    file, target, pid, node_id, {})
+                records = yield from self._deref(
+                    metrics, failures, 0, dereferencer, file, target, pid,
+                    node_id, {})
                 for record in records:
-                    yield from self._chain(job, metrics, results, node_id,
-                                           1, record, {})
+                    yield from self._chain(job, metrics, failures, results,
+                                           node_id, 1, record, {})
 
     def _chain(self, job: Job, metrics: ExecutionMetrics,
-               results: list[OutputRow], node_id: int, stage: int,
+               failures: FailureReport, results: list[OutputRow],
+               node_id: int, stage: int,
                payload: Union[Record, Pointer, PointerRange],
                context: Mapping[str, Any]):
         """Depth-first, strictly sequential continuation of one item."""
@@ -116,8 +161,9 @@ class PartitionedEngine:
                     f"{type(payload).__name__}")
             metrics.count_invocation(stage)
             for pointer, new_context in function.reference(payload, context):
-                yield from self._chain(job, metrics, results, node_id,
-                                       stage + 1, pointer, new_context)
+                yield from self._chain(job, metrics, failures, results,
+                                       node_id, stage + 1, pointer,
+                                       new_context)
             return
 
         if not isinstance(payload, (Pointer, PointerRange)):
@@ -132,9 +178,9 @@ class PartitionedEngine:
         else:
             pids = resolve_partitions(file, payload)
         for pid in pids:
-            records = yield from simulated_dereference(
-                self.cluster, self.config, metrics, stage, function, file,
-                payload, pid, node_id, context)
+            records = yield from self._deref(
+                metrics, failures, stage, function, file, payload, pid,
+                node_id, context)
             for record in records:
-                yield from self._chain(job, metrics, results, node_id,
-                                       stage + 1, record, context)
+                yield from self._chain(job, metrics, failures, results,
+                                       node_id, stage + 1, record, context)

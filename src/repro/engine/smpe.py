@@ -36,6 +36,26 @@ switch threads for *Referencers* ... to avoid excessive context
 switching"); ``EngineConfig.inline_referencers=False`` restores per-call
 dispatch, paying ``thread_switch_time`` — the ablation benchmark flips this
 switch.
+
+Fault tolerance
+---------------
+
+Every dereference goes through
+:func:`~repro.engine.access.resilient_dereference` (retries with capped
+exponential backoff, per-invocation timeouts, crash re-routing), and the
+control plane absorbs permanent node crashes: a crash listener drains the
+dead node's stage queue into the survivor that adopted its partitions
+(queue entries remember their ``home_node`` so ``LOCAL`` partition
+resolution still refers to the dead node's share), and all later routing
+goes through :meth:`~repro.cluster.cluster.Cluster.serving_node`.  What a
+run cannot complete is governed by ``EngineConfig.on_error``: ``fail``
+aborts on the first fault, ``retry`` aborts when the retry budget is
+exhausted, ``skip`` drops the failing work unit and records it in the
+job's :class:`~repro.engine.metrics.FailureReport`.  Aborts are
+cooperative — the failing unit parks the original exception, the task
+tracker is force-finished so every process drains, and the job process
+re-raises the exception so callers see the same propagation behaviour as a
+direct raise.
 """
 
 from __future__ import annotations
@@ -51,10 +71,11 @@ from repro.core.functions import Dereferencer, Referencer
 from repro.core.job import Job, OutputRow
 from repro.core.pointers import Pointer, PointerRange
 from repro.core.records import Record
-from repro.engine.access import (initial_probe_pids, resolve_partitions,
-                                 simulated_dereference)
-from repro.engine.metrics import ExecutionMetrics, JobResult
-from repro.errors import ExecutionError
+from repro.engine.access import (classify_failure, initial_probe_pids,
+                                 resilient_dereference, resolve_partitions)
+from repro.engine.metrics import (ExecutionMetrics, FailureRecord,
+                                  FailureReport, JobResult)
+from repro.errors import ExecutionError, JobAborted, NodeCrashed
 
 __all__ = ["SmpeEngine"]
 
@@ -70,13 +91,19 @@ class _StageInput:
     context: Mapping[str, Any]
     #: set after broadcast materialization (``SETPARTITION(input, LOCAL)``)
     local_only: bool = False
+    #: logical node whose partition share this entry refers to; set when a
+    #: crash re-routes the entry so LOCAL resolution still means "the dead
+    #: node's partitions" on the adopting survivor
+    home_node: Optional[int] = None
 
 
 class _TaskTracker:
     """Counts in-flight stage inputs; fires ``done`` at zero.
 
     Guard tokens held by each node's initial stage prevent a transient zero
-    before any outputs exist.
+    before any outputs exist.  After the job finishes — naturally or via
+    :meth:`force_finish` on abort — the tracker goes inert: late
+    bookkeeping from draining processes is a no-op instead of an error.
     """
 
     def __init__(self, done: Event) -> None:
@@ -86,14 +113,22 @@ class _TaskTracker:
 
     def inc(self, amount: int = 1) -> None:
         if self._finished:
-            raise ExecutionError("task created after job completion")
+            return
         self._count += amount
 
     def dec(self) -> None:
+        if self._finished:
+            return
         self._count -= 1
         if self._count < 0:
             raise ExecutionError("task tracker went negative")
         if self._count == 0:
+            self._finished = True
+            self._done.succeed()
+
+    def force_finish(self) -> None:
+        """Abort path: fire ``done`` now and ignore all later accounting."""
+        if not self._finished:
             self._finished = True
             self._done.succeed()
 
@@ -130,10 +165,16 @@ class SmpeEngine:
                           name=f"pool[{n}]")
                  for n in range(self.cluster.num_nodes)]
         state = _RunState(job, metrics, results, tracker, queues, pools,
-                          limit=limit)
+                          FailureReport(), limit=limit)
         start = sim.now
         busy_snaps = [node.disk.spindle_busy_snapshot()
                       for node in self.cluster.nodes]
+
+        listener = None
+        if self.cluster.faults is not None:
+            def listener(dead: int) -> None:
+                self._on_node_crash(state, dead)
+            self.cluster.on_node_crash(listener)
 
         # EXECUTESMPE: "distributing the data processing job to all the
         # computing nodes" (lines 2-5), then wait (line 6).
@@ -148,11 +189,18 @@ class SmpeEngine:
             for queue in queues:
                 queue.put(_SENTINEL)
             yield sim.all_of(node_procs)
+            if listener is not None:
+                self.cluster.remove_crash_listener(listener)
             self._finalize(state, start, busy_snaps, pools)
+            if state.aborted is not None:
+                # Re-raise here so the original exception type propagates
+                # out of run_until, exactly as a direct raise would.
+                raise state.aborted
 
         completion = self.cluster.launch(job_process(),
                                          name=f"smpe:{job.name}")
-        return completion, JobResult(results, metrics)
+        return completion, JobResult(results, metrics,
+                                     failure_report=state.failures)
 
     def _finalize(self, state: "_RunState", start: float,
                   busy_snaps: list, pools: list) -> None:
@@ -181,6 +229,59 @@ class SmpeEngine:
         self.cluster.run_until(
             completion, max_time=max_time or self.config.max_sim_time)
         return result
+
+    # -- failure handling -------------------------------------------------
+
+    def _abort(self, state: "_RunState", exc: BaseException) -> None:
+        """Park ``exc`` as the job's outcome and start a cooperative
+        shutdown; the first abort wins."""
+        if state.aborted is None:
+            state.aborted = exc
+        state.cancelled = True
+        state.tracker.force_finish()
+
+    def _unit_failed(self, state: "_RunState", node_id: int, stage: int,
+                     partition: Optional[int], exc: BaseException) -> None:
+        """One work unit is beyond saving (retries exhausted, user code
+        raised, or ``on_error='fail'``): apply the failure policy."""
+        kind = classify_failure(exc)
+        if self.config.on_error == "skip":
+            state.metrics.tasks_skipped += 1
+            state.failures.add(FailureRecord(
+                stage=stage, node=node_id, partition=partition, kind=kind,
+                error=str(exc), time=self.cluster.sim.now,
+                attempts=1 if kind == "user-error"
+                else self.config.max_retries + 1))
+            return
+        if kind == "user-error" or isinstance(exc, ExecutionError):
+            # Application errors and already-wrapped exhaustion errors
+            # propagate as themselves.
+            self._abort(state, exc)
+        else:
+            aborted = JobAborted(
+                f"job {state.job.name!r} aborted by {kind} fault on node "
+                f"{node_id}: {exc}")
+            aborted.__cause__ = exc
+            self._abort(state, aborted)
+
+    def _on_node_crash(self, state: "_RunState", dead: int) -> None:
+        """Crash listener: hand the dead node's pending queue to the
+        survivor that adopted its partitions and stop its dispatcher."""
+        state.metrics.node_crashes += 1
+        try:
+            adopter = self.cluster.serving_node(dead)
+        except NodeCrashed as exc:
+            self._abort(state, exc)
+            return
+        for item in state.queues[dead].drain():
+            if item is _SENTINEL:
+                continue
+            if item.home_node is None:
+                item.home_node = dead
+            state.queues[adopter].put(item)
+        # Wake and retire the dead node's dispatcher; all later routing
+        # avoids this queue via serving_node().
+        state.queues[dead].put(_SENTINEL)
 
     # -- per-node execution (EXECUTESMPEEACH, lines 8-18) ----------------
 
@@ -238,9 +339,13 @@ class SmpeEngine:
                 return
             dereferencer = state.job.functions[0]
             file = self.catalog.resolve(dereferencer.file_name)
-            records = yield from simulated_dereference(
-                self.cluster, self.config, state.metrics, 0, dereferencer,
-                file, target, pid, node_id, {})
+            try:
+                records = yield from resilient_dereference(
+                    self.cluster, self.config, state.metrics, 0,
+                    dereferencer, file, target, pid, node_id, {})
+            except Exception as exc:
+                self._unit_failed(state, node_id, 0, pid, exc)
+                return
             for record in records:                       # lines 47-51
                 self._enqueue(state, node_id,
                               _StageInput(1, record, {}))
@@ -260,20 +365,22 @@ class SmpeEngine:
 
             payload = item.payload
             if state.cancelled:
-                # LIMIT reached: drain the queue without dispatching.
+                # LIMIT reached or job aborted: drain without dispatching.
                 state.tracker.dec()
                 continue
 
             # Lines 28-33: a pointer without partition information is
-            # replicated to all nodes' queues, marked LOCAL.
+            # replicated to all nodes' queues, marked LOCAL.  Each logical
+            # node's share goes to whichever survivor currently serves it.
             if (isinstance(payload, (Pointer, PointerRange))
                     and payload.partition_key is None
                     and not item.local_only):
                 for other in range(self.cluster.num_nodes):
                     state.tracker.inc()
-                    state.queues[other].put(_StageInput(
-                        item.stage, payload, item.context,
-                        local_only=True))                # line 31 BROADCAST
+                    state.queues[self.cluster.serving_node(other)].put(
+                        _StageInput(item.stage, payload, item.context,
+                                    local_only=True,
+                                    home_node=other))    # line 31 BROADCAST
                 state.tracker.dec()
                 continue                                 # line 32
 
@@ -313,26 +420,37 @@ class SmpeEngine:
     def _run_referencer_inline(self, state: "_RunState", node_id: int,
                                function: Referencer,
                                item: _StageInput) -> None:
-        if not isinstance(item.payload, Record):
-            raise ExecutionError(
-                f"stage {item.stage} expects records, got "
-                f"{type(item.payload).__name__}")
-        state.metrics.count_invocation(item.stage)
-        for pointer, context in function.reference(item.payload,
-                                                   item.context):
-            self._enqueue(state, node_id,
-                          _StageInput(item.stage + 1, pointer, context))
-        state.tracker.dec()
+        try:
+            if not isinstance(item.payload, Record):
+                raise ExecutionError(
+                    f"stage {item.stage} expects records, got "
+                    f"{type(item.payload).__name__}")
+            state.metrics.count_invocation(item.stage)
+            for pointer, context in function.reference(item.payload,
+                                                       item.context):
+                self._enqueue(state, node_id,
+                              _StageInput(item.stage + 1, pointer, context))
+        except Exception as exc:
+            self._unit_failed(state, node_id, item.stage, None, exc)
+        finally:
+            # The unit is accounted for on every path — a raising
+            # referencer must not strand the task tracker.
+            state.tracker.dec()
 
     def _execute_referencer(self, state: "_RunState", node_id: int,
                             function: Referencer, item: _StageInput):
         pool = state.pools[node_id]
         yield pool.request()
         try:
-            # Dispatching to a pool thread pays the context switch the
-            # inline optimization avoids.
-            yield from self.cluster.node(node_id).compute(
-                self.config.thread_switch_time)
+            try:
+                # Dispatching to a pool thread pays the context switch the
+                # inline optimization avoids; a survivor pays it when the
+                # home node has crashed.
+                exec_node = self.cluster.serving_node(node_id)
+                yield from self.cluster.node(exec_node).compute(
+                    self.config.thread_switch_time)
+            except NodeCrashed:
+                pass  # crashed mid-switch: run the referencer regardless
             self._run_referencer_inline(state, node_id, function, item)
         finally:
             pool.release()
@@ -350,15 +468,27 @@ class SmpeEngine:
                     f"stage {item.stage} expects pointers, got "
                     f"{type(target).__name__}")
             file = self.catalog.resolve(function.file_name)
-            pids = resolve_partitions(file, target, executing_node=node_id,
+            # LOCAL resolution refers to the entry's logical home — after
+            # a crash re-route that is the dead node's partition share.
+            home = item.home_node if item.home_node is not None else node_id
+            pids = resolve_partitions(file, target, executing_node=home,
                                       local_only=item.local_only)
             for pid in pids:
-                records = yield from simulated_dereference(   # line 45
-                    self.cluster, self.config, state.metrics, item.stage,
-                    function, file, target, pid, node_id, item.context)
+                if state.cancelled:
+                    return
+                try:
+                    records = yield from resilient_dereference(  # line 45
+                        self.cluster, self.config, state.metrics,
+                        item.stage, function, file, target, pid, node_id,
+                        item.context)
+                except Exception as exc:
+                    self._unit_failed(state, node_id, item.stage, pid, exc)
+                    continue
                 for record in records:                   # lines 47-51
                     self._enqueue(state, node_id, _StageInput(
                         item.stage + 1, record, item.context))
+        except Exception as exc:
+            self._unit_failed(state, node_id, item.stage, None, exc)
         finally:
             pool.release()
             state.tracker.dec()
@@ -367,9 +497,10 @@ class SmpeEngine:
 
     def _enqueue(self, state: "_RunState", node_id: int,
                  item: _StageInput) -> None:
-        """ENQUE(queue, new_input): register the task, then queue it."""
+        """ENQUE(queue, new_input): register the task, then queue it on
+        whichever node currently serves ``node_id``."""
         state.tracker.inc()
-        state.queues[node_id].put(item)
+        state.queues[self.cluster.serving_node(node_id)].put(item)
 
 
 @dataclass
@@ -382,6 +513,9 @@ class _RunState:
     tracker: _TaskTracker
     queues: list[Store]
     pools: list[Resource]
+    failures: FailureReport = field(default_factory=FailureReport)
     #: LIMIT: stop dispatching once this many output rows exist
     limit: Optional[int] = None
     cancelled: bool = False
+    #: first fatal exception; re-raised by the job process at completion
+    aborted: Optional[BaseException] = None

@@ -24,7 +24,14 @@ __all__ = ["TraceEvent", "max_overlap", "concurrency_timeline",
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One dereference IO, in virtual time."""
+    """One dereference IO (or fault/retry occurrence), in virtual time.
+
+    ``kind`` is ``"deref"`` for ordinary dereference IOs; the resilience
+    layer appends zero-duration markers with kinds like
+    ``"fault:transient-io"``, ``"fault:timeout"``, ``"fault:node-crash"``,
+    and ``"retry"`` so fault timelines can be analysed next to the IO
+    timeline they perturb.
+    """
 
     stage: int
     node: int
@@ -33,6 +40,7 @@ class TraceEvent:
     num_records: int
     start: float
     end: float
+    kind: str = "deref"
 
     @property
     def remote(self) -> bool:

@@ -65,5 +65,45 @@ class ExecutionError(ReproError):
     """A job failed while executing on one of the engines."""
 
 
+class FaultError(ReproError):
+    """Base class for simulated infrastructure faults.
+
+    Raised by the hardware substrate when a :class:`~repro.cluster.faults.
+    FaultPlan` is active; the engines' resilience layer catches these and
+    applies the configured ``on_error`` policy.  User-code errors never
+    derive from this class, so fault handling cannot mask application bugs.
+    """
+
+
+class TransientIOError(FaultError):
+    """A disk read or network message failed transiently (retryable)."""
+
+
+class DereferenceTimeout(TransientIOError):
+    """A dereference invocation exceeded ``EngineConfig.dereference_timeout``.
+
+    Treated as a transient fault: the invocation is abandoned and retried
+    (the straggler-mitigation path for slow disks).
+    """
+
+
+class NodeCrashed(FaultError):
+    """An operation touched a node that has permanently crashed.
+
+    Carries the dead node's id so recovery can re-route to a survivor.
+    """
+
+    def __init__(self, message: str, node: int = -1) -> None:
+        super().__init__(message)
+        self.node = node
+
+
+class JobAborted(ExecutionError):
+    """A job was aborted mid-run by the failure policy.
+
+    The triggering fault is chained as ``__cause__``.
+    """
+
+
 class DataGenerationError(ReproError):
     """A synthetic dataset generator received inconsistent parameters."""

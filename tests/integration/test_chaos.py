@@ -1,0 +1,297 @@
+"""Chaos integration: engines under seeded fault injection.
+
+The contract under test, per ``EngineConfig.on_error``:
+
+* ``retry`` — transient IO errors, network drops, and timeouts are retried
+  with backoff and the job's answer is *identical* to the fault-free run;
+  exhausting the budget raises :class:`ExecutionError` with the final
+  fault chained as its cause.
+* ``fail`` — the first fault aborts the job as :class:`JobAborted` (cause
+  chained); user-code errors keep propagating as themselves.
+* ``skip`` — failing work units are dropped and the partial result is
+  accompanied by an exact :class:`FailureReport`.
+* node crashes are absorbed regardless of policy: survivors adopt the dead
+  node's partitions and queue entries, and the row set matches the
+  fault-free run.
+
+Everything is seeded: the same plan replays byte-for-byte.
+"""
+
+import pytest
+
+from repro.cluster import (Cluster, ClusterSpec, FaultPlan, NodeCrash,
+                           SlowDisk)
+from repro.config import EngineConfig
+from repro.core import (
+    AccessMethodDefinition,
+    FileLookupDereferencer,
+    IndexEntryReferencer,
+    IndexLookupDereferencer,
+    IndexRangeDereferencer,
+    JobBuilder,
+    KeyReferencer,
+    MappingInterpreter,
+    Pointer,
+    PointerRange,
+    Record,
+    StructureCatalog,
+)
+from repro.engine import ReDeExecutor
+from repro.errors import ExecutionError, JobAborted, TransientIOError
+from repro.storage import DistributedFileSystem
+
+NUM_NODES = 4
+NUM_KEYS = 40
+INTERP = MappingInterpreter()
+
+CLUSTER_MODES = ("smpe", "partitioned")
+
+
+def probe_catalog():
+    dfs = DistributedFileSystem(num_nodes=NUM_NODES)
+    catalog = StructureCatalog(dfs)
+    catalog.register_file("t", [Record({"pk": i, "v": i % 3})
+                                for i in range(60)],
+                          lambda r: r["pk"])
+    return catalog
+
+
+def probe_job():
+    builder = JobBuilder("probe").dereference(FileLookupDereferencer("t"))
+    for key in range(NUM_KEYS):
+        builder.input(Pointer("t", key, key))
+    return builder.build()
+
+
+def run_probe(mode, plan=None, **config_kwargs):
+    cluster = Cluster(ClusterSpec(num_nodes=NUM_NODES), fault_plan=plan)
+    executor = ReDeExecutor(cluster, probe_catalog(),
+                            config=EngineConfig(**config_kwargs), mode=mode)
+    return executor.execute(probe_job())
+
+
+def row_keys(result):
+    return sorted(row.record["pk"] for row in result.rows)
+
+
+class TestDeterminism:
+    def test_same_seed_replays_byte_for_byte(self):
+        def chaos_run():
+            cluster = Cluster(ClusterSpec(num_nodes=NUM_NODES),
+                              fault_plan=FaultPlan(
+                                  seed=11, transient_io_rate=0.15,
+                                  network_drop_rate=0.05,
+                                  node_crashes=(NodeCrash(3, 0.004),)))
+            executor = ReDeExecutor(cluster, probe_catalog(),
+                                    config=EngineConfig(on_error="retry"),
+                                    mode="smpe")
+            result = executor.execute(probe_job())
+            return (row_keys(result), result.metrics.summary(),
+                    dict(cluster.faults.stats))
+
+        first, second = chaos_run(), chaos_run()
+        assert first == second
+        assert first[1]["transient_faults"] > 0  # chaos actually happened
+
+    def test_different_seeds_draw_different_faults(self):
+        def fault_trace(seed):
+            result = run_probe("smpe",
+                               FaultPlan(seed=seed, transient_io_rate=0.15),
+                               on_error="retry", trace=True)
+            events = [(e.start, e.node, e.partition) for e in
+                      result.metrics.trace if e.kind.startswith("fault:")]
+            return row_keys(result), events
+
+        rows_a, faults_a = fault_trace(1)
+        rows_b, faults_b = fault_trace(2)
+        assert rows_a == rows_b  # answers agree...
+        assert faults_a != faults_b  # ...but the chaos itself differs
+
+
+@pytest.mark.parametrize("mode", CLUSTER_MODES)
+class TestRetryPolicy:
+    def test_transient_faults_retry_to_identical_answer(self, mode):
+        baseline = run_probe(mode)
+        faulty = run_probe(mode, FaultPlan(seed=7, transient_io_rate=0.2),
+                           on_error="retry")
+        assert row_keys(faulty) == row_keys(baseline)
+        assert faulty.metrics.retries > 0
+        assert faulty.metrics.transient_faults > 0
+        assert faulty.complete
+        # Retries and backoff cost simulated time.
+        assert (faulty.metrics.elapsed_seconds
+                > baseline.metrics.elapsed_seconds)
+
+    def test_network_drops_retry_to_identical_answer(self, mode):
+        baseline = run_probe(mode)
+        faulty = run_probe(mode, FaultPlan(seed=5, network_drop_rate=0.2),
+                           on_error="retry")
+        assert row_keys(faulty) == row_keys(baseline)
+        assert faulty.complete
+
+    def test_exhaustion_raises_with_cause_chained(self, mode):
+        with pytest.raises(ExecutionError) as excinfo:
+            run_probe(mode, FaultPlan(seed=7, transient_io_rate=0.9),
+                      on_error="retry", max_retries=1)
+        assert isinstance(excinfo.value.__cause__, TransientIOError)
+
+    def test_fail_policy_aborts_on_first_fault(self, mode):
+        with pytest.raises(JobAborted) as excinfo:
+            run_probe(mode, FaultPlan(seed=7, transient_io_rate=0.2),
+                      on_error="fail")
+        assert isinstance(excinfo.value.__cause__, TransientIOError)
+
+
+@pytest.mark.parametrize("mode", CLUSTER_MODES)
+class TestSkipPolicy:
+    def test_partial_rows_with_exact_failure_report(self, mode):
+        result = run_probe(mode, FaultPlan(seed=3, transient_io_rate=0.8),
+                           on_error="skip", max_retries=1)
+        assert 0 < len(result.rows) < NUM_KEYS
+        assert not result.complete
+        report = result.failure_report
+        assert report.dropped_units == result.metrics.tasks_skipped
+        # Every input is either answered or accounted for in the report.
+        assert len(result.rows) + report.dropped_units == NUM_KEYS
+        assert report.counts_by_kind() == {
+            "transient-io": report.dropped_units}
+        for record in report.records:
+            assert record.stage == 0
+            assert record.attempts == 2  # max_retries=1 -> 2 attempts
+        assert "lost" in report.render()
+
+    def test_fault_free_run_reports_complete(self, mode):
+        result = run_probe(mode)
+        assert result.complete
+        assert result.failure_report is not None
+        assert not result.failure_report
+        assert "nothing lost" in result.failure_report.render()
+
+
+@pytest.mark.parametrize("mode", CLUSTER_MODES)
+class TestNodeCrashRecovery:
+    def test_mid_run_crash_preserves_row_set(self, mode):
+        baseline = run_probe(mode)
+        crashed = run_probe(
+            mode, FaultPlan(seed=1, node_crashes=(NodeCrash(2, 0.004),)))
+        assert row_keys(crashed) == row_keys(baseline)
+        assert crashed.complete
+        assert crashed.metrics.node_crashes == 1
+        assert crashed.metrics.reroutes > 0
+
+    def test_crash_with_transient_faults_preserves_row_set(self, mode):
+        baseline = run_probe(mode)
+        crashed = run_probe(
+            mode, FaultPlan(seed=9, transient_io_rate=0.1,
+                            node_crashes=(NodeCrash(1, 0.006),)),
+            on_error="retry")
+        assert row_keys(crashed) == row_keys(baseline)
+        assert crashed.complete
+
+    def test_survivor_disks_absorb_the_dead_nodes_io(self, mode):
+        crashed = run_probe(
+            mode, FaultPlan(seed=1, node_crashes=(NodeCrash(2, 0.004),)))
+        cluster_reads = crashed.metrics.random_reads
+        assert cluster_reads >= NUM_KEYS  # every probe still paid its IO
+
+
+class TestStragglerSurfacing:
+    def test_timeout_plus_skip_bounds_a_permanent_straggler(self):
+        plan = FaultPlan(seed=5, slow_disks=(SlowDisk(1, factor=10.0),))
+        slow = run_probe("smpe", plan)
+        assert slow.complete  # without timeouts: complete but slow
+        surfaced = run_probe(
+            "smpe", FaultPlan(seed=5, slow_disks=(SlowDisk(1, factor=10.0),)),
+            on_error="skip", dereference_timeout=0.008, max_retries=2)
+        assert surfaced.metrics.timeouts > 0
+        assert not surfaced.complete
+        report = surfaced.failure_report
+        assert set(report.counts_by_kind()) == {"timeout"}
+        assert all(r.node == 1 for r in report.records)
+        assert len(surfaced.rows) + report.dropped_units == NUM_KEYS
+        # Abandoning the straggler bounds the runtime.
+        assert (surfaced.metrics.elapsed_seconds
+                < slow.metrics.elapsed_seconds)
+
+    def test_generous_timeout_tolerates_the_straggler(self):
+        plan = FaultPlan(seed=5, slow_disks=(SlowDisk(1, factor=4.0),))
+        result = run_probe("smpe", plan, on_error="retry",
+                           dereference_timeout=0.5)
+        assert result.complete
+        assert len(result.rows) == NUM_KEYS
+        assert result.metrics.timeouts == 0
+
+
+# -- a multi-stage join under chaos (broadcast + crash re-routing) ---------
+
+def join_catalog():
+    dfs = DistributedFileSystem(num_nodes=NUM_NODES)
+    catalog = StructureCatalog(dfs)
+    parts = [Record({"p_partkey": i, "p_retailprice": 900 + i})
+             for i in range(24)]
+    catalog.register_file("part", parts, lambda r: r["p_partkey"])
+    lineitems = [Record({"l_orderkey": i * 10 + j, "l_partkey": i,
+                         "l_quantity": j + 1})
+                 for i in range(24) for j in range(3)]
+    catalog.register_file("lineitem", lineitems, lambda r: r["l_orderkey"])
+    catalog.register_access_method(AccessMethodDefinition(
+        name="idx_part_retailprice", base_file="part", interpreter=INTERP,
+        key_field="p_retailprice", scope="local"))
+    catalog.register_access_method(AccessMethodDefinition(
+        name="idx_lineitem_partkey", base_file="lineitem",
+        interpreter=INTERP, key_field="l_partkey", scope="global"))
+    return catalog
+
+
+def join_job():
+    return (JobBuilder("join")
+            .dereference(IndexRangeDereferencer("idx_part_retailprice"))
+            .reference(IndexEntryReferencer("part"))
+            .dereference(FileLookupDereferencer("part"))
+            .reference(KeyReferencer("idx_lineitem_partkey", INTERP,
+                                     "p_partkey", carry=["p_partkey"]))
+            .dereference(IndexLookupDereferencer("idx_lineitem_partkey"))
+            .reference(IndexEntryReferencer("lineitem"))
+            .dereference(FileLookupDereferencer("lineitem"))
+            .input(PointerRange("idx_part_retailprice", 905, 918))
+            .build())
+
+
+class TestMultiStageChaos:
+    FIELDS = ("l_orderkey", "l_partkey", "l_quantity")
+
+    def oracle_rows(self):
+        result = ReDeExecutor(None, join_catalog(),
+                              mode="reference").execute(join_job())
+        return result.row_set(INTERP, self.FIELDS)
+
+    def run_join(self, mode, plan, **config_kwargs):
+        cluster = Cluster(ClusterSpec(num_nodes=NUM_NODES), fault_plan=plan)
+        executor = ReDeExecutor(cluster, join_catalog(),
+                                config=EngineConfig(**config_kwargs),
+                                mode=mode)
+        return executor.execute(join_job())
+
+    @pytest.mark.parametrize("mode", CLUSTER_MODES)
+    def test_crash_matches_fault_free_oracle_in_every_mode(self, mode):
+        # The crash lands mid-run, after the broadcast fan-out has seeded
+        # every node's queue: survivors must adopt the dead node's pending
+        # entries and its partition share.
+        result = self.run_join(
+            mode, FaultPlan(seed=2, node_crashes=(NodeCrash(1, 0.006),)),
+            on_error="retry")
+        assert result.row_set(INTERP, self.FIELDS) == self.oracle_rows()
+        assert result.complete
+        assert result.metrics.node_crashes == 1
+
+    @pytest.mark.parametrize("mode", CLUSTER_MODES)
+    def test_everything_at_once_still_matches_oracle(self, mode):
+        result = self.run_join(
+            mode, FaultPlan(seed=4, transient_io_rate=0.08,
+                            network_drop_rate=0.04,
+                            slow_disks=(SlowDisk(3, from_time=0.002,
+                                                 factor=2.0),),
+                            node_crashes=(NodeCrash(2, 0.008),)),
+            on_error="retry", max_retries=6)
+        assert result.row_set(INTERP, self.FIELDS) == self.oracle_rows()
+        assert result.complete

@@ -48,3 +48,37 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "SMPE vs Impala" in out
         assert "0.400" in out
+
+
+class TestChaosCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.rate == 0.05
+        assert args.policy == "retry"
+        assert args.crash_node is None
+        assert args.max_retries == 6
+
+    def test_policy_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--policy", "explode"])
+
+    def test_chaos_retry_recovers_small_run(self, capsys):
+        assert main(["chaos", "--scale", "0.0005", "--rate", "0.05",
+                     "--max-retries", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "identical to the fault-free answer" in out
+        assert "nothing lost" in out
+
+    def test_chaos_with_crash_prints_reroutes(self, capsys):
+        assert main(["chaos", "--scale", "0.0005", "--rate", "0.0",
+                     "--crash-node", "1", "--crash-at", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "1 crashes" in out
+        assert "identical to the fault-free answer" in out
+
+    def test_chaos_skip_reports_losses(self, capsys):
+        assert main(["chaos", "--scale", "0.0005", "--rate", "0.5",
+                     "--policy", "skip", "--max-retries", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "PARTIAL" in out
+        assert "work units lost" in out

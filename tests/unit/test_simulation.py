@@ -346,3 +346,70 @@ def test_determinism_identical_runs():
         return trace
 
     assert build_and_run() == build_and_run()
+
+
+class TestAnyOf:
+    def test_first_finisher_wins_with_index_and_value(self):
+        from repro.cluster.simulation import any_of
+        sim = Simulator()
+
+        def worker(delay, value):
+            yield sim.timeout(delay)
+            return value
+
+        slow = sim.process(worker(3.0, "slow"))
+        fast = sim.process(worker(1.0, "fast"))
+        index, value = sim.run(until=any_of(sim, [slow, fast]))
+        assert (index, value) == (1, "fast")
+        sim.run()  # the loser finishing later must not break anything
+        assert slow.triggered
+
+    def test_already_triggered_event_wins_immediately(self):
+        from repro.cluster.simulation import any_of
+        sim = Simulator()
+        timer = sim.timeout(0.5, value="timer")
+        sim.run()
+        assert timer.triggered
+        index, value = sim.run(until=any_of(sim, [timer,
+                                                  sim.timeout(9.0)]))
+        assert (index, value) == (0, "timer")
+
+    def test_empty_input_rejected(self):
+        from repro.cluster.simulation import any_of
+        with pytest.raises(SimulationError):
+            any_of(Simulator(), [])
+
+    def test_simultaneous_events_pick_first_scheduled(self):
+        from repro.cluster.simulation import any_of
+        sim = Simulator()
+        a = sim.timeout(1.0, value="a")
+        b = sim.timeout(1.0, value="b")
+        index, value = sim.run(until=any_of(sim, [a, b]))
+        assert (index, value) == (0, "a")
+
+
+class TestStoreDrain:
+    def test_drain_returns_and_clears_queued_items(self):
+        sim = Simulator()
+        store = sim.store()
+        for item in ("x", "y", "z"):
+            store.put(item)
+        assert store.drain() == ["x", "y", "z"]
+        assert len(store) == 0
+        assert store.drain() == []
+
+    def test_drain_leaves_blocked_getters_blocked(self):
+        sim = Simulator()
+        store = sim.store()
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append(item)
+
+        sim.process(consumer())
+        sim.run()
+        assert store.drain() == []
+        store.put("late")
+        sim.run()
+        assert got == ["late"]

@@ -43,13 +43,30 @@ class TestTaskTracker:
         with pytest.raises(ExecutionError):
             tracker.dec()
 
-    def test_inc_after_completion_raises(self):
+    def test_inert_after_completion(self):
+        # Once the job finished (or was force-finished by an abort), late
+        # bookkeeping from draining processes must be a harmless no-op.
         sim = Simulator()
-        tracker = _TaskTracker(sim.event())
+        done = sim.event()
+        tracker = _TaskTracker(done)
         tracker.inc()
         tracker.dec()
-        with pytest.raises(ExecutionError):
-            tracker.inc()
+        tracker.inc()
+        tracker.dec()
+        tracker.dec()
+        sim.run()
+        assert done.triggered
+
+    def test_force_finish_fires_done_once(self):
+        sim = Simulator()
+        done = sim.event()
+        tracker = _TaskTracker(done)
+        tracker.inc(5)
+        tracker.force_finish()
+        tracker.force_finish()
+        tracker.dec()
+        sim.run()
+        assert done.triggered
 
 
 def broadcast_catalog():
