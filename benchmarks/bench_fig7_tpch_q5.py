@@ -18,6 +18,8 @@ scan engine at the very low end, and the scan engine overtakes ReDe at the
 high-selectivity end.
 """
 
+import os
+
 import pytest
 
 from repro.baselines import ScanEngine
@@ -29,10 +31,14 @@ from repro.queries import (
     canonical_q5_rows_scan,
 )
 
+#: CI smoke mode: shrink the sweep and skip overwriting saved results
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
 SCALE_FACTOR = 0.004
 NUM_NODES = 8
 REGION = "ASIA"
-SELECTIVITIES = (0.0005, 0.002, 0.01, 0.05, 0.1, 0.2, 0.4)
+SELECTIVITIES = ((0.0005, 0.05, 0.4) if QUICK
+                 else (0.0005, 0.002, 0.01, 0.05, 0.1, 0.2, 0.4))
 #: per-node scan seconds of the scale-model cluster (see balanced_cluster_spec)
 SCAN_SECONDS = 0.25
 
@@ -101,7 +107,8 @@ def test_fig7_regenerate(benchmark, show, save_result, workload):
                    "high selectivity; w/o SMPE only slightly better than "
                    "Impala at the very low end")
     show(table)
-    save_result("fig7", table)
+    if not QUICK:  # the saved figure is the full sweep only
+        save_result("fig7", table)
 
     # Shape claim 1: "ReDe (w/ SMPE) outperformed Impala by more than an
     # order of magnitude in a wide range of selectivities."

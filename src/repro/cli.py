@@ -44,6 +44,12 @@ def build_parser() -> argparse.ArgumentParser:
     fig7.add_argument("--scale", type=float, default=0.002,
                       help="TPC-H scale factor (default 0.002)")
     fig7.add_argument("--nodes", type=int, default=8)
+    fig7.add_argument("--cache-mb", type=float, default=0.0,
+                      help="per-node buffer-pool size in MiB for the ReDe "
+                           "engines (default 0 = uncached)")
+    fig7.add_argument("--cache-policy", choices=("lru", "clock", "2q"),
+                      default="lru",
+                      help="buffer-pool eviction policy (default lru)")
 
     fig9 = commands.add_parser("fig9",
                                help="regenerate the Figure 9 comparison")
@@ -123,25 +129,37 @@ def _run_demo_inline() -> int:
     return 0
 
 
-def cmd_fig7(scale: float, nodes: int) -> int:
+def cmd_fig7(scale: float, nodes: int, cache_mb: float = 0.0,
+             cache_policy: str = "lru") -> int:
     workload = TpchWorkload(scale_factor=scale, seed=1, num_nodes=nodes,
                             block_size=256 * 1024)
+    cache_bytes = int(cache_mb * 1024 * 1024)
+    caption = (f", cache {cache_mb:g}MiB/{cache_policy}" if cache_bytes
+               else "")
     table = SweepTable(
-        title=f"Figure 7 (SF={scale}, {nodes} nodes)",
+        title=f"Figure 7 (SF={scale}, {nodes} nodes{caption})",
         columns=["selectivity", "Impala-like", "ReDe w/o SMPE",
                  "ReDe w/ SMPE", "SMPE vs Impala"])
+    hit_totals = miss_totals = 0
     for selectivity in (0.001, 0.01, 0.05, 0.2, 0.4):
         low, high = workload.date_range(selectivity)
         job = workload.q5_job(low, high)
         plan = workload.q5_scan_plan(low, high)
         scan = ScanEngine(workload.make_cluster(scan_seconds=0.25),
                           workload.blockstore).execute(plan)
-        smpe = ReDeExecutor(workload.make_cluster(scan_seconds=0.25),
-                            workload.catalog, mode="smpe").execute(job)
-        part = ReDeExecutor(workload.make_cluster(scan_seconds=0.25),
-                            workload.catalog,
-                            mode="partitioned").execute(job)
+        smpe = ReDeExecutor(
+            workload.make_cluster(scan_seconds=0.25,
+                                  cache_bytes=cache_bytes,
+                                  cache_policy=cache_policy),
+            workload.catalog, mode="smpe").execute(job)
+        part = ReDeExecutor(
+            workload.make_cluster(scan_seconds=0.25,
+                                  cache_bytes=cache_bytes,
+                                  cache_policy=cache_policy),
+            workload.catalog, mode="partitioned").execute(job)
         assert canonical_q5_rows_rede(smpe) == canonical_q5_rows_scan(scan)
+        hit_totals += smpe.metrics.cache_hits + part.metrics.cache_hits
+        miss_totals += smpe.metrics.cache_misses + part.metrics.cache_misses
         table.add_row(selectivity,
                       format_seconds(scan.metrics.elapsed_seconds),
                       format_seconds(part.metrics.elapsed_seconds),
@@ -149,6 +167,12 @@ def cmd_fig7(scale: float, nodes: int) -> int:
                       format_factor(scan.metrics.elapsed_seconds
                                     / smpe.metrics.elapsed_seconds))
     print(table.render())
+    if cache_bytes:
+        lookups = hit_totals + miss_totals
+        rate = hit_totals / lookups if lookups else 0.0
+        print(f"buffer pools: {hit_totals} hits / {miss_totals} misses "
+              f"across the sweep ({rate:.1%} hit rate; pools are cold per "
+              "run — each cluster is fresh)")
     return 0
 
 
@@ -234,7 +258,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "demo":
         return _run_demo_inline()
     if args.command == "fig7":
-        return cmd_fig7(args.scale, args.nodes)
+        return cmd_fig7(args.scale, args.nodes, args.cache_mb,
+                        args.cache_policy)
     if args.command == "fig9":
         return cmd_fig9(args.claims)
     if args.command == "inventory":

@@ -18,6 +18,7 @@ from repro.cluster.network import Network, NetworkSpec
 from repro.cluster.node import Node, NodeSpec
 from repro.cluster.simulation import Event, Simulator
 from repro.errors import NodeCrashed, SimulationError
+from repro.storage.cache import CacheStats
 
 __all__ = ["ClusterSpec", "Cluster"]
 
@@ -148,3 +149,29 @@ class Cluster:
 
     def total_bytes_scanned(self) -> int:
         return sum(node.disk.bytes_scanned for node in self.nodes)
+
+    # -- buffer pools ----------------------------------------------------
+
+    def provision_caches(self, cache_bytes: int,
+                         policy: str = "lru") -> None:
+        """Attach a buffer pool to every node that does not have one yet."""
+        for node in self.nodes:
+            node.provision_cache(cache_bytes, policy)
+
+    def cache_stats(self) -> CacheStats:
+        """Aggregate buffer-pool statistics across all nodes (alive or
+        crashed — a dead node's counters still describe work it did)."""
+        return CacheStats.aggregate(
+            node.buffer_pool.stats()
+            for node in self.nodes if node.buffer_pool is not None)
+
+    def invalidate_cached_file(self, file_name: str,
+                               partition: Optional[int] = None) -> int:
+        """Drop every cached page of ``file_name`` cluster-wide (structure
+        rebuilt or reloaded).  Returns the number of pages dropped."""
+        dropped = 0
+        for node in self.nodes:
+            if node.buffer_pool is not None:
+                dropped += node.buffer_pool.invalidate_file(
+                    file_name, partition)
+        return dropped

@@ -179,6 +179,7 @@ class FaultInjector:
             return
         node.alive = False
         node.crashed_at = self.sim.now
+        node.drop_cache()  # RAM dies with the node
         self.stats["node-crash"] += 1
         self.cluster._notify_crash(node_id)
 

@@ -15,6 +15,7 @@ from typing import Optional
 from repro.cluster.disk import Disk, DiskSpec
 from repro.cluster.simulation import Resource, Simulator
 from repro.errors import NodeCrashed, SimulationError
+from repro.storage.cache import CACHE_POLICIES, BufferPool
 
 __all__ = ["NodeSpec", "Node"]
 
@@ -28,15 +29,27 @@ class NodeSpec:
         tuple_cpu_time: seconds of CPU to process one tuple through one
             operator (hash, probe, predicate evaluation, interpretation).
         disk: the node's data-disk array specification.
+        cache_bytes: RAM byte budget for the node's buffer pool; 0 (the
+            default) disables caching and preserves the classic cost model.
+        cache_policy: eviction policy for the pool ("lru", "clock", "2q").
     """
 
     cores: int = 16
     tuple_cpu_time: float = 100e-9
     disk: DiskSpec = DiskSpec()
+    cache_bytes: int = 0
+    cache_policy: str = "lru"
 
     def __post_init__(self) -> None:
         if self.cores < 1 or self.tuple_cpu_time < 0:
             raise SimulationError("invalid node spec")
+        if self.cache_bytes < 0:
+            raise SimulationError(
+                f"negative cache_bytes: {self.cache_bytes}")
+        if self.cache_policy not in CACHE_POLICIES:
+            raise SimulationError(
+                f"unknown cache policy {self.cache_policy!r}; "
+                f"expected one of {CACHE_POLICIES}")
 
 
 class Node:
@@ -53,6 +66,29 @@ class Node:
         #: liveness: flipped permanently by FaultInjector node crashes
         self.alive = True
         self.crashed_at: Optional[float] = None
+        #: per-node page cache; ``None`` means uncached (classic cost model)
+        self.buffer_pool: Optional[BufferPool] = None
+        if spec.cache_bytes > 0:
+            self.buffer_pool = BufferPool(
+                spec.cache_bytes, policy=spec.cache_policy,
+                name=f"node{node_id}.cache")
+
+    def provision_cache(self, cache_bytes: int, policy: str = "lru") -> None:
+        """Attach a buffer pool after construction (engine-level override).
+
+        Does nothing if a pool is already attached — spec-level provisioning
+        wins, and a warm pool survives across jobs on the same cluster.
+        """
+        if self.buffer_pool is None and cache_bytes > 0:
+            self.buffer_pool = BufferPool(
+                cache_bytes, policy=policy, name=f"node{self.node_id}.cache")
+
+    def drop_cache(self) -> int:
+        """Discard every cached page (crash semantics: RAM contents are
+        lost, accumulated statistics are not).  Returns pages dropped."""
+        if self.buffer_pool is None:
+            return 0
+        return self.buffer_pool.drop_all()
 
     def _check_alive(self) -> None:
         if not self.alive:

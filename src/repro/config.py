@@ -21,6 +21,7 @@ from repro.cluster.cluster import ClusterSpec
 from repro.cluster.disk import DiskSpec
 from repro.cluster.network import NetworkSpec
 from repro.cluster.node import NodeSpec
+from repro.storage.cache import CACHE_POLICIES
 
 __all__ = [
     "paper_cluster_spec",
@@ -48,14 +49,21 @@ def paper_cluster_spec() -> ClusterSpec:
     return ClusterSpec(num_nodes=128, node=_PAPER_NODE, network=_PAPER_NETWORK)
 
 
-def laptop_cluster_spec(num_nodes: int = 8) -> ClusterSpec:
+def laptop_cluster_spec(num_nodes: int = 8, cache_bytes: int = 0,
+                        cache_policy: str = "lru") -> ClusterSpec:
     """A scaled-down cluster with the paper's per-node hardware."""
-    return ClusterSpec(num_nodes=num_nodes, node=_PAPER_NODE,
+    node = _PAPER_NODE
+    if cache_bytes > 0:
+        node = NodeSpec(cores=node.cores,
+                        tuple_cpu_time=node.tuple_cpu_time, disk=node.disk,
+                        cache_bytes=cache_bytes, cache_policy=cache_policy)
+    return ClusterSpec(num_nodes=num_nodes, node=node,
                        network=_PAPER_NETWORK)
 
 
 def balanced_cluster_spec(total_bytes: int, num_nodes: int = 8,
-                          scan_seconds: float = 0.5) -> ClusterSpec:
+                          scan_seconds: float = 0.5, cache_bytes: int = 0,
+                          cache_policy: str = "lru") -> ClusterSpec:
     """A *scale-model* cluster for the Figure 7 regime.
 
     The paper's experiment runs TPC-H SF=128K (128 TB over 128 nodes): a
@@ -85,7 +93,8 @@ def balanced_cluster_spec(total_bytes: int, num_nodes: int = 8,
         page_size=_PAPER_DISK.page_size,
     )
     node = NodeSpec(cores=_PAPER_NODE.cores,
-                    tuple_cpu_time=_PAPER_NODE.tuple_cpu_time, disk=disk)
+                    tuple_cpu_time=_PAPER_NODE.tuple_cpu_time, disk=disk,
+                    cache_bytes=cache_bytes, cache_policy=cache_policy)
     return ClusterSpec(num_nodes=num_nodes, node=node,
                        network=_PAPER_NETWORK)
 
@@ -120,6 +129,13 @@ class EngineConfig:
         dereference_timeout: per-invocation timeout in simulated seconds;
             a dereference exceeding it is abandoned and treated as a
             transient fault (straggler mitigation).  0 disables timeouts.
+        cache_bytes: engine-level buffer-pool provisioning — every node
+            without a pool gets one of this many bytes at executor
+            construction.  0 (the default) leaves nodes uncached unless
+            their :class:`~repro.cluster.node.NodeSpec` says otherwise.
+        cache_policy: eviction policy for engine-provisioned pools.
+        cache_hit_time: RAM service time charged for a buffer-pool hit
+            (kept non-zero so a fully-cached dereference still yields).
     """
 
     thread_pool_size: int = 1000
@@ -133,6 +149,9 @@ class EngineConfig:
     retry_backoff_base: float = 0.002
     retry_backoff_cap: float = 0.05
     dereference_timeout: float = 0.0
+    cache_bytes: int = 0
+    cache_policy: str = "lru"
+    cache_hit_time: float = 25e-6
 
     def __post_init__(self) -> None:
         if self.on_error not in ("fail", "retry", "skip"):
@@ -144,6 +163,14 @@ class EngineConfig:
             raise ValueError("retry backoff times must be >= 0")
         if self.dereference_timeout < 0:
             raise ValueError("dereference_timeout must be >= 0")
+        if self.cache_bytes < 0:
+            raise ValueError("cache_bytes must be >= 0")
+        if self.cache_policy not in CACHE_POLICIES:
+            raise ValueError(
+                f"cache_policy must be one of {CACHE_POLICIES}, "
+                f"got {self.cache_policy!r}")
+        if self.cache_hit_time < 0:
+            raise ValueError("cache_hit_time must be >= 0")
 
 
 DEFAULT_ENGINE_CONFIG = EngineConfig()

@@ -21,9 +21,8 @@ from __future__ import annotations
 import logging
 from collections import Counter
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
-from repro.cluster.cluster import Cluster
 from repro.core.catalog import AccessMethodDefinition, StructureCatalog
 from repro.core.functions import Dereferencer
 from repro.core.interpreters import (
@@ -32,6 +31,9 @@ from repro.core.interpreters import (
     Interpreter,
 )
 from repro.core.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.cluster.cluster import Cluster
 
 __all__ = ["MaintenanceWorker", "WorkloadStats", "StructureAdvisor",
            "IndexAdvice"]
@@ -61,6 +63,9 @@ class MaintenanceWorker:
                 total_elapsed += self._charge_build_cost(name)
             self.catalog.ensure_built(name)
             built.append(name)
+            if self.cluster is not None:
+                # A rebuilt structure's old pages are stale RAM.
+                self.cluster.invalidate_cached_file(name)
         if built:
             logger.info("background build of %s took %.4fs simulated",
                         built, total_elapsed)
@@ -117,6 +122,13 @@ class MaintenanceWorker:
         elapsed = 0.0
         if self.cluster is not None:
             elapsed = self._charge_load_cost(placements)
+            if records:
+                # Loaded pages shift the heap layout and rewrite index
+                # leaves: drop the base file's cached pages and those of
+                # every structure maintained over it.
+                self.cluster.invalidate_cached_file(file_name)
+                for name in self.catalog.maintained_structures(file_name):
+                    self.cluster.invalidate_cached_file(name)
         return len(records), total_writes, elapsed
 
     def _charge_load_cost(self, placements) -> float:

@@ -5,7 +5,10 @@ which performs the *real* data-plane fetch (so results are correct) while
 charging virtual time for it:
 
 * random reads on the disk of the node that owns the partition (B-tree
-  probes pay one read per leaf touched; base-file lookups one per record);
+  probes pay one read per page traversed; base-file lookups one per heap
+  page the fetched record bytes span) — and when the owning node carries a
+  :class:`~repro.storage.cache.BufferPool`, each traversed page consults
+  it first, so hits cost RAM service time instead of a disk read;
 * a network round trip when the executing node is not the owner;
 * a sliver of CPU on the executing node for filtering fetched records.
 
@@ -15,9 +18,10 @@ structural pruning a range partitioner affords to range probes.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Optional, Union
+from typing import Any, Iterator, Optional, Sequence, Union
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.disk import DiskSpec
 from repro.config import EngineConfig
 from repro.core.functions import Dereferencer
 from repro.core.pointers import Pointer, PointerRange
@@ -26,7 +30,8 @@ from repro.engine.metrics import ExecutionMetrics
 from repro.engine.trace import TraceEvent
 from repro.errors import (DereferenceTimeout, ExecutionError, FaultError,
                           NodeCrashed, TransientIOError)
-from repro.storage.files import BtreeFile, File
+from repro.storage.cache import PageId
+from repro.storage.files import BtreeFile, File, PartitionedFile
 from repro.storage.partitioner import RangePartitioner
 
 __all__ = ["resolve_partitions", "initial_probe_pids",
@@ -113,13 +118,32 @@ def initial_probe_pids(file: File, target: Target,
     return [pid]
 
 
-def _fetch_cost_reads(file: File, num_records: int) -> int:
-    """Random reads one fetch costs on the owning node."""
+#: page size assumed when no cluster supplies a disk (reference executor)
+_REFERENCE_PAGE_SIZE = DiskSpec().page_size
+
+
+def _fetch_cost_reads(file: File, records: Sequence[Record],
+                      page_size: int) -> int:
+    """Random reads one fetch costs on the owning node (uncached model)."""
     if isinstance(file, BtreeFile):
-        return file.probe_io_count(num_records)
-    # Base-file lookup: one page read per record, minimum one (a miss still
-    # reads the page that would have held it).
-    return max(1, num_records)
+        return file.probe_io_count(len(records))
+    # Base-file lookup: records under one key pack contiguously in the
+    # heap, so the fetch reads as many pages as the record bytes span —
+    # minimum one (a miss still reads the page that would have held it).
+    total_bytes = sum(record.size_bytes for record in records)
+    return max(1, -(-total_bytes // page_size))
+
+
+def _probe_page_ids(file: File, target: Target,
+                    partition_id: int, page_size: int
+                    ) -> Optional[list[PageId]]:
+    """The pages one fetch traverses, or ``None`` when the structure
+    cannot enumerate them (fall back to the uncached cost model)."""
+    if isinstance(file, BtreeFile):
+        return file.probe_page_ids(partition_id, target)
+    if isinstance(file, PartitionedFile) and isinstance(target, Pointer):
+        return file.probe_page_ids(partition_id, target, page_size)
+    return None
 
 
 def simulated_dereference(cluster: Cluster, config: EngineConfig,
@@ -141,14 +165,39 @@ def simulated_dereference(cluster: Cluster, config: EngineConfig,
     start_time = cluster.sim.now
     records = dereferencer.fetch(file, target, partition_id)
     is_index = isinstance(file, BtreeFile)
-    reads = _fetch_cost_reads(file, len(records))
-    metrics.count_fetch(stage, len(records), is_index, reads)
-
     owner_disk = cluster.node(owner).disk
-    for __ in range(reads):
-        # Page reads within one probe are dependent (parent leaf -> next
-        # leaf), so they serialize inside this simulated thread.
-        yield from owner_disk.random_read()
+    page_size = owner_disk.spec.page_size
+
+    pool = cluster.node(owner).buffer_pool
+    pages = None
+    if pool is not None and pool.enabled:
+        pages = _probe_page_ids(file, target, partition_id, page_size)
+    hits = misses = 0
+    if pages is not None:
+        # Page-granular path: each traversed page consults the owner's
+        # buffer pool.  A hit costs RAM service time; a miss pays the
+        # disk's random read and then caches the page.  Page reads within
+        # one probe are dependent (parent -> child, leaf -> next leaf), so
+        # they serialize inside this simulated thread.
+        for page in pages:
+            if pool.lookup(page):
+                hits += 1
+                metrics.cache_hits += 1
+                if config.cache_hit_time > 0:
+                    yield cluster.sim.timeout(config.cache_hit_time)
+            else:
+                misses += 1
+                metrics.cache_misses += 1
+                yield from owner_disk.random_read()
+                # only a read that completed populates the cache
+                pool.insert(page, page_size)
+        metrics.count_fetch(stage, len(records), is_index, misses)
+    else:
+        reads = _fetch_cost_reads(file, records, page_size)
+        metrics.count_fetch(stage, len(records), is_index, reads)
+        for __ in range(reads):
+            # Dependent page reads serialize inside this simulated thread.
+            yield from owner_disk.random_read()
 
     if owner != executing_node:
         response_bytes = sum(r.size_bytes for r in records)
@@ -162,7 +211,8 @@ def simulated_dereference(cluster: Cluster, config: EngineConfig,
         metrics.trace.append(TraceEvent(
             stage=stage, node=executing_node, partition=partition_id,
             owner_node=owner, num_records=len(records),
-            start=start_time, end=cluster.sim.now))
+            start=start_time, end=cluster.sim.now,
+            cache_hits=hits, cache_misses=misses))
     return dereferencer.apply_filter(records, context)
 
 
@@ -306,7 +356,7 @@ def count_only_dereference(metrics: ExecutionMetrics, stage: int,
     the record-access counter behind Figure 9).
     """
     records = dereferencer.fetch(file, target, partition_id)
-    reads = _fetch_cost_reads(file, len(records))
+    reads = _fetch_cost_reads(file, records, _REFERENCE_PAGE_SIZE)
     metrics.count_fetch(stage, len(records), isinstance(file, BtreeFile),
                         reads)
     return dereferencer.apply_filter(records, context)

@@ -53,6 +53,11 @@ class ReDeExecutor:
         self.catalog = catalog
         self.config = config
         self.mode = mode
+        if cluster is not None and config.cache_bytes > 0:
+            # Engine-level buffer-pool provisioning: nodes whose spec
+            # already attached a pool keep it (and its warm contents).
+            cluster.provision_caches(config.cache_bytes,
+                                     config.cache_policy)
 
     def execute(self, job: Job,
                 max_time: Optional[float] = None,

@@ -31,6 +31,10 @@ class ExecutionMetrics:
     base_record_accesses: int = 0
     #: random disk reads charged
     random_reads: int = 0
+    #: dereference page lookups served from a node's buffer pool
+    cache_hits: int = 0
+    #: dereference page lookups that went to disk (pool enabled but cold)
+    cache_misses: int = 0
     #: dereference invocations that crossed nodes
     remote_fetches: int = 0
     #: bytes moved across the network for remote dereferences
@@ -97,6 +101,8 @@ class ExecutionMetrics:
             "index_entry_accesses": self.index_entry_accesses,
             "base_record_accesses": self.base_record_accesses,
             "random_reads": self.random_reads,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
             "remote_fetches": self.remote_fetches,
             "bytes_transferred": self.bytes_transferred,
             "peak_parallelism": self.peak_parallelism,

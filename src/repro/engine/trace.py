@@ -41,6 +41,10 @@ class TraceEvent:
     start: float
     end: float
     kind: str = "deref"
+    #: buffer-pool pages served from RAM during this dereference
+    cache_hits: int = 0
+    #: buffer-pool pages that had to go to disk during this dereference
+    cache_misses: int = 0
 
     @property
     def remote(self) -> bool:

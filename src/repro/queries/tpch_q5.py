@@ -143,19 +143,23 @@ class TpchWorkload:
         return sum(self.blockstore.file_bytes(name)
                    for name in self.blockstore.names())
 
-    def make_cluster(self, scan_seconds: float = 0.5):
+    def make_cluster(self, scan_seconds: float = 0.5, cache_bytes: int = 0,
+                     cache_policy: str = "lru"):
         """A fresh scale-model cluster balanced for this dataset's size.
 
         See :func:`repro.config.balanced_cluster_spec` for why Figure 7
         needs the scan-to-IOPS balance pinned rather than the paper's raw
-        bandwidth number.
+        bandwidth number.  ``cache_bytes`` > 0 gives every node a buffer
+        pool of that size (``cache_policy`` eviction).
         """
         from repro.cluster.cluster import Cluster
         from repro.config import balanced_cluster_spec
 
         return Cluster(balanced_cluster_spec(self.total_bytes,
                                              num_nodes=self.num_nodes,
-                                             scan_seconds=scan_seconds))
+                                             scan_seconds=scan_seconds,
+                                             cache_bytes=cache_bytes,
+                                             cache_policy=cache_policy))
 
     # -- the ReDe job -------------------------------------------------------
 

@@ -4,6 +4,12 @@ store."""
 
 from repro.storage.blockstore import Block, BlockStore
 from repro.storage.btree import BPlusTree
+from repro.storage.cache import (
+    CACHE_POLICIES,
+    BufferPool,
+    CacheStats,
+    PageId,
+)
 from repro.storage.dfs import DistributedFileSystem
 from repro.storage.files import (
     BtreeFile,
@@ -27,6 +33,10 @@ __all__ = [
     "Block",
     "BlockStore",
     "BPlusTree",
+    "BufferPool",
+    "CacheStats",
+    "CACHE_POLICIES",
+    "PageId",
     "DistributedFileSystem",
     "BtreeFile",
     "File",

@@ -45,22 +45,25 @@ def _even_groups(total: int, target: int, cap_min: int,
 
 
 class _Leaf:
-    __slots__ = ("keys", "values", "next")
+    __slots__ = ("keys", "values", "next", "page")
 
     def __init__(self) -> None:
         self.keys: list[Any] = []
         self.values: list[list[Any]] = []
         self.next: Optional["_Leaf"] = None
+        #: page number for cache identity, assigned on first traversal
+        self.page: Optional[int] = None
 
     is_leaf = True
 
 
 class _Internal:
-    __slots__ = ("keys", "children")
+    __slots__ = ("keys", "children", "page")
 
     def __init__(self) -> None:
         self.keys: list[Any] = []
         self.children: list[Any] = []
+        self.page: Optional[int] = None
 
     is_leaf = False
 
@@ -82,6 +85,7 @@ class BPlusTree:
         self._height = 1
         self._num_keys = 0
         self._num_values = 0
+        self._next_page_no = 0
 
     # -- capacities ------------------------------------------------------
 
@@ -193,6 +197,68 @@ class BPlusTree:
         while not node.is_leaf:
             node = node.children[0]
         return node
+
+    # -- page traversal (cache identity) ---------------------------------
+
+    def _page_no(self, node: Any) -> int:
+        """Stable page number of a tree node, assigned on first traversal.
+
+        Numbers live on the nodes themselves, so they survive rebalancing
+        and stay unique for the lifetime of the tree; allocation order
+        follows probe order, which is deterministic for a deterministic
+        workload.
+        """
+        if node.page is None:
+            node.page = self._next_page_no
+            self._next_page_no += 1
+        return node.page
+
+    def point_traversal_pages(self, key: Any) -> tuple[list[int], list[int]]:
+        """``(interior_pages, leaf_pages)`` an equality probe of ``key``
+        touches: the root-to-leaf path plus the single candidate leaf."""
+        interior: list[int] = []
+        node = self._root
+        while not node.is_leaf:
+            interior.append(self._page_no(node))
+            node = node.children[bisect.bisect_right(node.keys, key)]
+        return interior, [self._page_no(node)]
+
+    def range_traversal_pages(self, low: Any = None, high: Any = None,
+                              inclusive_low: bool = True,
+                              inclusive_high: bool = True
+                              ) -> tuple[list[int], list[int]]:
+        """``(interior_pages, leaf_pages)`` a range probe touches.
+
+        Mirrors :meth:`range`: the interior path descends toward ``low``
+        (or the leftmost leaf), then the leaf chain is followed until a key
+        beyond ``high`` proves the scan is done — a leaf is counted as soon
+        as it must be read, including the one that terminates the scan.
+        """
+        interior: list[int] = []
+        node = self._root
+        while not node.is_leaf:
+            interior.append(self._page_no(node))
+            if low is None:
+                node = node.children[0]
+            else:
+                node = node.children[bisect.bisect_right(node.keys, low)]
+        leaf: _Leaf = node
+        leaves = [self._page_no(leaf)]
+        index = (0 if low is None
+                 else bisect.bisect_left(leaf.keys, low) if inclusive_low
+                 else bisect.bisect_right(leaf.keys, low))
+        while True:
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if high is not None and (
+                        key > high or (key == high and not inclusive_high)):
+                    return interior, leaves
+                index += 1
+            if leaf.next is None:
+                return interior, leaves
+            leaf = leaf.next
+            leaves.append(self._page_no(leaf))
+            index = 0
 
     # -- insertion -------------------------------------------------------
 

@@ -25,11 +25,16 @@ from repro.core.pointers import Pointer, PointerKind, PointerRange
 from repro.core.records import Record
 from repro.errors import PartitionError, StorageError
 from repro.storage.btree import BPlusTree
+from repro.storage.cache import PageId
 from repro.storage.heapfile import HeapFile
-from repro.storage.partitioner import HashPartitioner, Partitioner
+from repro.storage.partitioner import HashPartitioner, Partitioner, \
+    stable_hash
 
 __all__ = ["File", "PartitionedFile", "BtreeFile", "IndexEntry",
            "round_robin_placement"]
+
+#: Per-entry B-tree key/pointer overhead used in index size estimates.
+_ENTRY_OVERHEAD = 16
 
 #: Field names of the index-entry record convention (see :func:`IndexEntry`).
 TARGET_PARTITION_FIELD = "target_partition_key"
@@ -174,6 +179,29 @@ class PartitionedFile(File):
             return [heap.get(pointer.key)]
         return heap.lookup(pointer.key)
 
+    def probe_page_ids(self, partition_id: int, pointer: Pointer,
+                       page_size: int) -> list[PageId]:
+        """The exact heap pages one pointer fetch touches.
+
+        Physical pointers address a single slot's page; logical pointers
+        touch every (distinct) page the key's slots land on.  A miss still
+        reads the page the key's slot chain would live in — chosen by key
+        hash so repeated misses of the same key stay cacheable without two
+        different absent keys aliasing each other onto page 0.
+        """
+        pid = self.partitioner.validate(partition_id)
+        heap = self.partitions[pid]
+        if pointer.kind is PointerKind.PHYSICAL:
+            slots = [pointer.key] if 0 <= pointer.key < len(heap) else []
+        else:
+            slots = heap.slots_for_key(pointer.key)
+        if slots:
+            pages = sorted({heap.page_of_slot(slot, page_size)
+                            for slot in slots})
+        else:
+            pages = [stable_hash(pointer.key) % heap.num_pages(page_size)]
+        return [PageId(self.name, pid, "heap", page) for page in pages]
+
     def scan_partition(self, partition_id: int) -> Iterator[Record]:
         heap = self.partitions[self.partitioner.validate(partition_id)]
         return heap.scan()
@@ -235,6 +263,7 @@ class BtreeFile(File):
         self.order = order
         self.trees = [BPlusTree(order=order)
                       for __ in range(self.num_partitions)]
+        self._total_bytes = 0
 
     # -- writes ----------------------------------------------------------
 
@@ -250,6 +279,8 @@ class BtreeFile(File):
             # Full replication: the entry lands in every node's copy.
             for tree in self.trees:
                 tree.insert(index_key, entry)
+            self._total_bytes += (entry.size_bytes
+                                  + _ENTRY_OVERHEAD) * len(self.trees)
             return
         if partition_key is None:
             if self.scope == "local":
@@ -258,6 +289,7 @@ class BtreeFile(File):
             partition_key = index_key
         pid = self.partition_of_key(partition_key)
         self.trees[pid].insert(index_key, entry)
+        self._total_bytes += entry.size_bytes + _ENTRY_OVERHEAD
 
     def bulk_build(self, entries: Iterable[tuple[Any, Record, Any]],
                    fill: float = 0.9) -> None:
@@ -277,6 +309,9 @@ class BtreeFile(File):
             bucket.sort(key=lambda pair: pair[0])
             self.trees[pid] = BPlusTree.bulk_load(bucket, order=self.order,
                                                   fill=fill)
+        self._total_bytes = sum(entry.size_bytes + _ENTRY_OVERHEAD
+                                for bucket in buckets
+                                for __, entry in bucket)
 
     # -- reads -----------------------------------------------------------
 
@@ -307,21 +342,40 @@ class BtreeFile(File):
     def probe_io_count(self, num_results: int) -> int:
         """Random reads charged for one probe returning ``num_results``.
 
-        Inner nodes are assumed cached (they are tiny and hot); the probe
-        pays one read for the first leaf plus one per additional leaf the
-        result set spans.
+        This is the *uncached* cost model: inner nodes are assumed resident
+        (they are tiny and hot), so the probe pays one read for the first
+        leaf plus one per additional leaf the result set spans.  When the
+        owning node has a buffer pool, the engine charges real page
+        traversal via :meth:`probe_page_ids` instead.
         """
         leaf_capacity = max(1, self.order - 1)
         return 1 + max(0, math.ceil(num_results / leaf_capacity) - 1)
+
+    def probe_page_ids(self, partition_id: int,
+                       target: "Pointer | PointerRange") -> list[PageId]:
+        """The exact B-tree pages one probe of ``partition_id`` touches:
+        the interior root-to-leaf path, then every leaf the result set
+        spans (no "interiors are free" assumption — a cold cache pays for
+        the path, a warm one hits it)."""
+        pid = self.partitioner.validate(partition_id)
+        tree = self.trees[pid]
+        if isinstance(target, PointerRange):
+            interior, leaves = tree.range_traversal_pages(
+                target.low, target.high,
+                inclusive_low=target.inclusive_low,
+                inclusive_high=target.inclusive_high)
+        else:
+            interior, leaves = tree.point_traversal_pages(target.key)
+        return ([PageId(self.name, pid, "interior", page)
+                 for page in interior]
+                + [PageId(self.name, pid, "leaf", page) for page in leaves])
 
     def __len__(self) -> int:
         return sum(len(tree) for tree in self.trees)
 
     @property
     def total_bytes(self) -> int:
-        """Approximate size: every entry record plus per-entry key overhead."""
-        total = 0
-        for tree in self.trees:
-            for __, entry in tree.items():
-                total += entry.size_bytes + 16
-        return total
+        """Approximate size: every entry record plus per-entry key
+        overhead, maintained as a running counter on the write paths so
+        sizing a cluster around an index stays O(1)."""
+        return self._total_bytes

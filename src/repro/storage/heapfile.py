@@ -24,6 +24,7 @@ class HeapFile:
         self.name = name
         self._records: list[Record] = []
         self._key_map: dict[Any, list[int]] = {}
+        self._offsets: list[int] = []
         self.total_bytes = 0
 
     def append(self, record: Record, key: Optional[Any] = None) -> int:
@@ -35,6 +36,7 @@ class HeapFile:
         """
         slot = len(self._records)
         self._records.append(record)
+        self._offsets.append(self.total_bytes)
         self.total_bytes += record.size_bytes
         if key is not None:
             self._key_map.setdefault(key, []).append(slot)
@@ -53,6 +55,23 @@ class HeapFile:
 
     def contains_key(self, key: Any) -> bool:
         return key in self._key_map
+
+    def slots_for_key(self, key: Any) -> list[int]:
+        """Physical slots stored under an in-partition key."""
+        return list(self._key_map.get(key, []))
+
+    def page_of_slot(self, slot: int, page_size: int) -> int:
+        """Page number holding ``slot``, under an append-only byte layout
+        (records packed in slot order, ``page_size``-byte pages)."""
+        if not 0 <= slot < len(self._records):
+            raise RecordNotFound(
+                f"slot {slot} out of range in heap {self.name!r}")
+        return self._offsets[slot] // page_size
+
+    def num_pages(self, page_size: int) -> int:
+        """Pages this heap occupies (at least one, even when empty — a
+        lookup must still read the page the record would live in)."""
+        return max(1, -(-self.total_bytes // page_size))
 
     def scan(self) -> Iterator[Record]:
         """Iterate every record in slot order."""

@@ -295,3 +295,121 @@ class TestMultiStageChaos:
             on_error="retry", max_retries=6)
         assert result.row_set(INTERP, self.FIELDS) == self.oracle_rows()
         assert result.complete
+
+
+class TestCacheUnderChaos:
+    """Buffer pools and fault injection interact correctly.
+
+    A crash must drop the dead node's pool (its RAM is gone), the
+    promoted survivor must serve the adopted partitions correctly from a
+    cold cache, and the per-job cache counters must reconcile with the
+    pools' own statistics even when retries re-walk pages.
+    """
+
+    CACHE_BYTES = 1 << 20
+
+    def cached_cluster(self, plan=None):
+        from repro.cluster import NodeSpec
+
+        return Cluster(ClusterSpec(
+            num_nodes=NUM_NODES,
+            node=NodeSpec(cache_bytes=self.CACHE_BYTES)), fault_plan=plan)
+
+    @pytest.mark.parametrize("mode", CLUSTER_MODES)
+    def test_survivor_serves_adopted_partitions_from_cold_cache(self, mode):
+        baseline = run_probe(mode)
+
+        cluster = self.cached_cluster(
+            FaultPlan(seed=1, node_crashes=(NodeCrash(2, 0.004),)))
+        executor = ReDeExecutor(cluster, probe_catalog(), mode=mode)
+        crashed = executor.execute(probe_job())
+
+        assert row_keys(crashed) == row_keys(baseline)
+        assert crashed.complete
+        assert crashed.metrics.node_crashes == 1
+
+        # The dead node's RAM died with it; its statistics survive for
+        # post-mortem reporting, but nothing is resident.
+        dead_pool = cluster.node(2).buffer_pool
+        assert len(dead_pool) == 0
+        assert dead_pool.stats().resident_bytes == 0
+
+        # A re-probe on the same cluster: the survivor has re-warmed its
+        # pool with the adopted partitions' pages, so the whole hot set
+        # now hits, and the dead pool stays empty.
+        stats_before = cluster.cache_stats()
+        reprobe = executor.execute(probe_job())
+        assert row_keys(reprobe) == row_keys(baseline)
+        assert reprobe.metrics.cache_hits > 0
+        assert reprobe.metrics.cache_misses == 0
+        assert len(cluster.node(2).buffer_pool) == 0
+
+        # Metrics reconcile with the pools' own counters, job by job.
+        stats_after = cluster.cache_stats()
+        assert (stats_after.hits - stats_before.hits
+                == reprobe.metrics.cache_hits)
+        assert (stats_after.misses - stats_before.misses
+                == reprobe.metrics.cache_misses)
+
+    def padded_catalog(self):
+        # Wide records so each partition spans many heap pages: enough
+        # distinct disk reads for the fault injector to actually fire.
+        dfs = DistributedFileSystem(num_nodes=NUM_NODES)
+        catalog = StructureCatalog(dfs)
+        catalog.register_file("t", [Record({"pk": i, "pad": "x" * 600})
+                                    for i in range(400)],
+                              lambda r: r["pk"])
+        return catalog
+
+    def padded_job(self):
+        builder = JobBuilder("probe").dereference(FileLookupDereferencer("t"))
+        for key in range(0, 400, 5):
+            builder.input(Pointer("t", key, key))
+        return builder.build()
+
+    @pytest.mark.parametrize("mode", CLUSTER_MODES)
+    def test_retry_counters_reconcile_with_pool_statistics(self, mode):
+        baseline = ReDeExecutor(
+            Cluster(ClusterSpec(num_nodes=NUM_NODES)), self.padded_catalog(),
+            mode=mode).execute(self.padded_job())
+
+        cluster = self.cached_cluster(FaultPlan(seed=9,
+                                                transient_io_rate=0.1))
+        executor = ReDeExecutor(cluster, self.padded_catalog(),
+                                config=EngineConfig(on_error="retry"),
+                                mode=mode)
+        result = executor.execute(self.padded_job())
+
+        assert row_keys(result) == row_keys(baseline)
+        assert result.complete
+        assert result.metrics.transient_faults > 0
+        assert result.metrics.retries > 0
+
+        # Every pool lookup the job issued — including those of attempts a
+        # transient fault later aborted — appears in both ledgers.
+        stats = cluster.cache_stats()
+        assert stats.hits == result.metrics.cache_hits
+        assert stats.misses == result.metrics.cache_misses
+        # An aborted attempt counts its miss but never completes the read
+        # accounting, so misses bound the charged reads from above.
+        assert result.metrics.random_reads <= result.metrics.cache_misses
+        # Retried dereferences re-walk pages the failed attempt already
+        # cached, so some hits must have come from those half-warm pages.
+        assert result.metrics.cache_hits > 0
+
+    @pytest.mark.parametrize("mode", CLUSTER_MODES)
+    def test_chaos_with_cache_is_deterministic(self, mode):
+        def one_run():
+            cluster = self.cached_cluster(
+                FaultPlan(seed=4, transient_io_rate=0.08,
+                          node_crashes=(NodeCrash(1, 0.006),)))
+            executor = ReDeExecutor(cluster, probe_catalog(),
+                                    config=EngineConfig(on_error="retry"),
+                                    mode=mode)
+            result = executor.execute(probe_job())
+            summary = result.metrics.summary()
+            return (row_keys(result), summary["elapsed_seconds"],
+                    summary["cache_hits"], summary["cache_misses"],
+                    summary["retries"])
+
+        assert one_run() == one_run()

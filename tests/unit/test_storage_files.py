@@ -299,3 +299,131 @@ class TestBlockStore:
             BlockStore(num_nodes=0)
         with pytest.raises(StorageError):
             BlockStore(num_nodes=1, block_size=0)
+
+
+class TestHeapFilePages:
+    def test_page_of_slot_follows_byte_layout(self):
+        heap = HeapFile("h")
+        records = [rec(i=i, pad="x" * 100) for i in range(20)]
+        for r in records:
+            heap.append(r, key=r["i"])
+        page_size = 4 * records[0].size_bytes
+        assert heap.page_of_slot(0, page_size) == 0
+        assert heap.page_of_slot(4, page_size) == 1
+        assert heap.num_pages(page_size) == 5
+        # slots of one key resolve to the page their bytes live on
+        assert heap.page_of_slot(heap.slots_for_key(7)[0], page_size) == 1
+
+    def test_empty_heap_still_has_one_page(self):
+        heap = HeapFile("h")
+        assert heap.num_pages(8192) == 1
+
+    def test_page_of_bad_slot_raises(self):
+        heap = HeapFile("h")
+        with pytest.raises(RecordNotFound):
+            heap.page_of_slot(0, 8192)
+
+
+class TestProbePageIds:
+    PAGE_SIZE = 8192
+
+    @pytest.fixture
+    def file(self):
+        file = PartitionedFile("part", HashPartitioner(2), num_nodes=1)
+        for i in range(50):
+            file.insert(rec(pk=i, pad="y" * 400), partition_key=i)
+        return file
+
+    def test_logical_pointer_pages(self, file):
+        pid = file.partition_of_key(3)
+        pages = file.probe_page_ids(pid, Pointer("part", 3, 3),
+                                    self.PAGE_SIZE)
+        assert len(pages) == 1
+        page = pages[0]
+        assert (page.file, page.partition, page.page_kind) == ("part", pid,
+                                                               "heap")
+        heap = file.partitions[pid]
+        assert page.page_no == heap.page_of_slot(
+            heap.slots_for_key(3)[0], self.PAGE_SIZE)
+
+    def test_physical_pointer_pages(self, file):
+        physical = Pointer("part", 3, 0, PointerKind.PHYSICAL)
+        pid = file.partition_of_key(3)
+        pages = file.probe_page_ids(pid, physical, self.PAGE_SIZE)
+        assert [p.page_no for p in pages] == [0]
+
+    def test_miss_reads_a_deterministic_page(self, file):
+        pid = 0
+        missing = Pointer("part", None, "no-such-key")
+        first = file.probe_page_ids(pid, missing, self.PAGE_SIZE)
+        second = file.probe_page_ids(pid, missing, self.PAGE_SIZE)
+        assert first == second and len(first) == 1
+        other = file.probe_page_ids(pid, Pointer("part", None, "also-gone"),
+                                    self.PAGE_SIZE)
+        # two absent keys need not share a page (no aliasing onto page 0)
+        assert first[0].page_no < file.partitions[pid].num_pages(
+            self.PAGE_SIZE)
+        assert other == file.probe_page_ids(
+            pid, Pointer("part", None, "also-gone"), self.PAGE_SIZE)
+
+    def _index(self, n=300, order=8):
+        index = BtreeFile("idx", HashPartitioner(1), num_nodes=1,
+                          order=order)
+        index.bulk_build((k, IndexEntry(k, k, k), k) for k in range(n))
+        return index
+
+    def test_btree_point_probe_pages(self):
+        index = self._index()
+        pages = index.probe_page_ids(0, Pointer("idx", 42, 42))
+        kinds = [p.page_kind for p in pages]
+        assert kinds.count("leaf") == 1
+        assert kinds.count("interior") == index.trees[0].height - 1
+        assert pages == index.probe_page_ids(0, Pointer("idx", 42, 42))
+
+    def test_btree_range_probe_spans_more_leaves(self):
+        index = self._index()
+        narrow = index.probe_page_ids(0, PointerRange("idx", 10, 12))
+        wide = index.probe_page_ids(0, PointerRange("idx", 10, 200))
+        leaves = lambda pages: [p for p in pages if p.page_kind == "leaf"]
+        assert len(leaves(wide)) > len(leaves(narrow)) >= 1
+        # every leaf the range spans is enumerated: ~n/(order-1) of them
+        assert len(leaves(wide)) >= (200 - 10) // 8
+
+    def test_btree_pages_stable_across_probes(self):
+        index = self._index()
+        first = index.probe_page_ids(0, PointerRange("idx", 0, 299))
+        again = index.probe_page_ids(0, PointerRange("idx", 0, 299))
+        assert first == again
+        point = index.probe_page_ids(0, Pointer("idx", 0, 0))
+        # the point probe's leaf is one of the range probe's leaves
+        assert point[-1] in first
+
+
+class TestBtreeTotalBytes:
+    def _entries(self, n=200):
+        return [(k, IndexEntry(k, k, k), k) for k in range(n)]
+
+    def test_counter_matches_between_write_paths(self):
+        built = BtreeFile("a", HashPartitioner(3), num_nodes=1)
+        built.bulk_build(self._entries())
+        inserted = BtreeFile("b", HashPartitioner(3), num_nodes=1)
+        for key, entry, pkey in self._entries():
+            inserted.insert(key, entry, partition_key=pkey)
+        assert built.total_bytes == inserted.total_bytes > 0
+
+    def test_replicated_counts_every_copy(self):
+        single = BtreeFile("s", HashPartitioner(1), num_nodes=1)
+        single.bulk_build(self._entries(50))
+        replicated = BtreeFile("r", HashPartitioner(4), num_nodes=4,
+                               scope="replicated")
+        replicated.bulk_build(self._entries(50))
+        assert replicated.total_bytes == 4 * single.total_bytes
+        replicated.insert(999, IndexEntry(999, 999, 999))
+        assert replicated.total_bytes > 4 * single.total_bytes
+
+    def test_rebuild_resets_the_counter(self):
+        index = BtreeFile("a", HashPartitioner(2), num_nodes=1)
+        index.bulk_build(self._entries(100))
+        first = index.total_bytes
+        index.bulk_build(self._entries(100))
+        assert index.total_bytes == first
