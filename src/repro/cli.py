@@ -59,6 +59,18 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser("inventory",
                         help="show a demo lake's structure catalog")
 
+    plan = commands.add_parser(
+        "plan",
+        help="show the per-stage planner's decision table for Q5'")
+    plan.add_argument("--scale", type=float, default=0.002,
+                      help="TPC-H scale factor (default 0.002)")
+    plan.add_argument("--nodes", type=int, default=8)
+    plan.add_argument("--selectivity", type=float, default=0.2,
+                      help="Q5' date-range selectivity (default 0.2)")
+    plan.add_argument("--execute", action="store_true",
+                      help="also run the chosen plan and report its "
+                           "simulated runtime")
+
     chaos = commands.add_parser(
         "chaos",
         help="run a fault-injected Q5' and print the failure report")
@@ -242,6 +254,30 @@ def cmd_chaos(scale: float, nodes: int, seed: int, rate: float,
     return 0
 
 
+def cmd_plan(scale: float, nodes: int, selectivity: float,
+             execute: bool) -> int:
+    """Print the per-stage planner's decision table for Q5′."""
+    from repro.engine import PlanningExecutor
+
+    workload = TpchWorkload(scale_factor=scale, seed=1, num_nodes=nodes,
+                            block_size=256 * 1024)
+    spec = workload.make_cluster(scan_seconds=0.25).spec
+    executor = PlanningExecutor(workload.catalog, workload.blockstore,
+                                spec)
+    low, high = workload.date_range(selectivity)
+    logical = workload.q5_chain(low, high).logical_plan()
+    planned = executor.plan(logical)
+    print(f"Q5' at selectivity {selectivity:g} "
+          f"(SF={scale:g}, {nodes} nodes)")
+    print(planned.describe())
+    if execute:
+        result = executor.execute(logical)
+        print(f"executed {result.executed} plan: {len(result.rows)} rows "
+              f"in {result.elapsed_seconds * 1e3:.1f} simulated ms "
+              f"({result.record_accesses} record accesses)")
+    return 0
+
+
 def cmd_inventory() -> int:
     claims = ClaimsGenerator(num_claims=500, seed=1).generate()
     lake = ClaimsLake(claims, num_nodes=4)
@@ -264,6 +300,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_fig9(args.claims)
     if args.command == "inventory":
         return cmd_inventory()
+    if args.command == "plan":
+        return cmd_plan(args.scale, args.nodes, args.selectivity,
+                        args.execute)
     if args.command == "chaos":
         return cmd_chaos(args.scale, args.nodes, args.seed, args.rate,
                          args.drop_rate, args.policy, args.max_retries,

@@ -8,10 +8,18 @@ compromising flexibility and efficiency is an important research
 challenge."
 
 :class:`ChainQuery` is one such abstraction: a declarative
-select-join-chain builder that *compiles to* a plain
-:class:`~repro.core.job.Job`, so every engine (and the hybrid optimizer)
-runs it unchanged — no flexibility or efficiency is given up, the chain is
-just sugar over choosing pre-defined Referencers/Dereferencers.
+select-join-chain builder.  It records the chain as a
+:class:`~repro.plan.logical.LogicalPlan` — the IR the per-stage planner
+(:mod:`repro.plan.planner`) inspects — and *compiles to* a plain
+:class:`~repro.core.job.Job` via the plan layer's default all-index
+lowering, so every engine (and the hybrid optimizer) runs it unchanged:
+no flexibility or efficiency is given up, the chain is just sugar over
+choosing pre-defined Referencers/Dereferencers.
+
+Malformed chains fail eagerly at the offending builder call with a
+:class:`~repro.errors.JobDefinitionError` — two sources, filters before
+a source, joins on never-carried context fields, duplicate carry names —
+instead of failing deep inside an engine.
 
 Example — TPC-H Q5′ in chain form::
 
@@ -33,44 +41,46 @@ Example — TPC-H Q5′ in chain form::
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional, \
+    Sequence, Union
 
-from repro.core.functions import (
-    Dereferencer,
-    FileLookupDereferencer,
-    IndexEntryReferencer,
-    IndexLookupDereferencer,
-    IndexRangeDereferencer,
-    KeyReferencer,
-)
 from repro.core.interpreters import (
-    AndFilter,
     ContextMatchFilter,
     FieldEqualsFilter,
     FieldRangeFilter,
     Filter,
     Interpreter,
-    MappingInterpreter,
     PredicateFilter,
 )
 from repro.core.job import Job
-from repro.core.pointers import Pointer, PointerRange
 from repro.core.records import Record
 from repro.errors import JobDefinitionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.plan.logical import LogicalPlan
 
 __all__ = ["ChainQuery"]
 
 
 class ChainQuery:
     """Fluent select-join chains that compile to Reference-Dereference
-    jobs."""
+    jobs through the plan layer."""
 
     def __init__(self, name: str = "chain",
                  interpreter: Optional[Interpreter] = None) -> None:
-        self.name = name
-        self.interpreter = interpreter or MappingInterpreter()
-        self._functions: list = []
-        self._inputs: list[Union[Pointer, PointerRange]] = []
+        # Imported lazily to keep core importable without the plan
+        # package in partial checkouts; plan never imports core.chain.
+        from repro.plan.logical import LogicalPlan
+
+        self._logical = LogicalPlan(name, interpreter)
+
+    @property
+    def name(self) -> str:
+        return self._logical.name
+
+    @property
+    def interpreter(self) -> Interpreter:
+        return self._logical.interpreter
 
     # -- sources -----------------------------------------------------------
 
@@ -78,40 +88,21 @@ class ChainQuery:
                          base: Optional[str] = None) -> "ChainQuery":
         """Start from a B-tree range probe; optionally fetch the base
         records the entries point at."""
-        self._require_empty()
-        self._functions.append(IndexRangeDereferencer(index))
-        self._inputs.append(PointerRange(index, low, high))
-        if base is not None:
-            self._fetch_from_entries(base)
+        self._logical.add_source("index_range", index, base=base, low=low,
+                                 high=high)
         return self
 
     def from_index_lookup(self, index: str, keys: Sequence[Any],
                           base: Optional[str] = None) -> "ChainQuery":
         """Start from equality probes for each key in ``keys``."""
-        self._require_empty()
-        self._functions.append(IndexLookupDereferencer(index))
-        for key in keys:
-            self._inputs.append(Pointer(index, key, key))
-        if base is not None:
-            self._fetch_from_entries(base)
+        self._logical.add_source("index_lookup", index, base=base,
+                                 keys=keys)
         return self
 
     def from_pointers(self, file: str, keys: Sequence[Any]) -> "ChainQuery":
         """Start by fetching base records directly by partition key."""
-        self._require_empty()
-        self._functions.append(FileLookupDereferencer(file))
-        for key in keys:
-            self._inputs.append(Pointer(file, key, key))
+        self._logical.add_source("pointers", file, keys=keys)
         return self
-
-    def _require_empty(self) -> None:
-        if self._functions:
-            raise JobDefinitionError(
-                "a chain can have only one source (from_* called twice?)")
-
-    def _fetch_from_entries(self, base: str) -> None:
-        self._functions.append(IndexEntryReferencer(base))
-        self._functions.append(FileLookupDereferencer(base))
 
     # -- joins ---------------------------------------------------------------
 
@@ -129,37 +120,15 @@ class ChainQuery:
         (the global/local-index join of Fig. 4); without it, ``target`` is
         assumed partitioned by the join key (direct fetch).
         """
-        self._require_started()
-        probe_target = via_index if via_index is not None else target
-        self._functions.append(KeyReferencer(
-            probe_target, self.interpreter, key_field=key,
-            key_from_context=context_key, carry=carry,
-            broadcast=broadcast))
-        if via_index is not None:
-            self._functions.append(IndexLookupDereferencer(via_index))
-            self._fetch_from_entries(target)
-        else:
-            self._functions.append(FileLookupDereferencer(target))
+        self._logical.add_join(target, key=key, context_key=context_key,
+                               via_index=via_index, carry=carry,
+                               broadcast=broadcast)
         return self
-
-    def _require_started(self) -> None:
-        if not self._functions:
-            raise JobDefinitionError(
-                "call a from_* source before joins/filters")
 
     # -- filters ---------------------------------------------------------------
 
     def _attach_filter(self, new_filter: Filter) -> None:
-        self._require_started()
-        last = self._functions[-1]
-        if not isinstance(last, Dereferencer):
-            raise JobDefinitionError(
-                "filters attach to the preceding fetch; the chain does "
-                "not end in one")
-        if last.filter is None:
-            last.filter = new_filter
-        else:
-            last.filter = AndFilter(last.filter, new_filter)
+        self._logical.add_filter(new_filter)
 
     def filter_equals(self, field: str, value: Any) -> "ChainQuery":
         """Keep rows whose interpreted ``field`` equals ``value``."""
@@ -190,6 +159,24 @@ class ChainQuery:
 
     # -- compilation --------------------------------------------------------
 
+    def logical_plan(self) -> "LogicalPlan":
+        """The chain's logical plan — what the per-stage planner consumes.
+
+        The returned plan is live (not a copy): further chain calls keep
+        extending it.
+        """
+        if not self._logical.nodes:
+            raise JobDefinitionError(
+                "call a from_* source before compiling the chain")
+        return self._logical
+
     def build(self) -> Job:
-        """Compile to a validated Reference-Dereference job."""
-        return Job(self._functions, self._inputs, name=self.name)
+        """Compile to a validated Reference-Dereference job.
+
+        This is the plan pipeline's identity path — ``LogicalPlan →
+        all-index PhysicalPlan → Job`` — and emits exactly the function
+        list the pre-plan ChainQuery did.
+        """
+        from repro.plan.lowering import compile_logical, lower_physical
+
+        return lower_physical(compile_logical(self.logical_plan()))

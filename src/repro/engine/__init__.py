@@ -8,6 +8,7 @@ from repro.engine.hybrid import CostModel, HybridExecutor, HybridResult, \
 from repro.engine.metrics import (ExecutionMetrics, FailureRecord,
                                   FailureReport, JobResult)
 from repro.engine.partitioned import PartitionedEngine
+from repro.engine.planned import PlannedResult, PlanningExecutor
 from repro.engine.reference import ReferenceExecutor
 from repro.engine.smpe import SmpeEngine
 
@@ -25,6 +26,8 @@ __all__ = [
     "FailureReport",
     "JobResult",
     "PartitionedEngine",
+    "PlannedResult",
+    "PlanningExecutor",
     "ReferenceExecutor",
     "SmpeEngine",
 ]

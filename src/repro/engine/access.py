@@ -12,6 +12,16 @@ charging virtual time for it:
 * a network round trip when the executing node is not the owner;
 * a sliver of CPU on the executing node for filtering fetched records.
 
+This module is also where physical-plan access paths meet the engines:
+scan-backed stages (a :class:`~repro.plan.scanstage.
+ScanLookupDereferencer` emitted by the per-stage planner) are recognized
+here and charged as one parallel sequential pass that builds a
+replicated hash table — every node scans its local partitions, spends
+build CPU, and ships its share to peers — after which each probe costs
+only in-memory lookup CPU.  Because every engine funnels through this
+function, SMPE, the partitioned engine, and the reference executor all
+run mixed scan/index jobs without any engine-side changes.
+
 Partition resolution (:func:`resolve_partitions`) also implements the
 structural pruning a range partitioner affords to range probes.
 """
@@ -30,6 +40,7 @@ from repro.engine.metrics import ExecutionMetrics
 from repro.engine.trace import TraceEvent
 from repro.errors import (DereferenceTimeout, ExecutionError, FaultError,
                           NodeCrashed, TransientIOError)
+from repro.plan.scanstage import ScanLookupDereferencer
 from repro.storage.cache import PageId
 from repro.storage.files import BtreeFile, File, PartitionedFile
 from repro.storage.partitioner import RangePartitioner
@@ -161,6 +172,11 @@ def simulated_dereference(cluster: Cluster, config: EngineConfig,
     after a permanent node crash the IO lands on the survivor that adopted
     the dead node's partitions (replica promotion) instead of a dead disk.
     """
+    if isinstance(dereferencer, ScanLookupDereferencer):
+        records = yield from _scan_stage_dereference(
+            cluster, metrics, stage, dereferencer, file, target,
+            partition_id, executing_node, context)
+        return records
     owner = cluster.serving_node(file.node_of(partition_id))
     start_time = cluster.sim.now
     records = dereferencer.fetch(file, target, partition_id)
@@ -213,6 +229,75 @@ def simulated_dereference(cluster: Cluster, config: EngineConfig,
             owner_node=owner, num_records=len(records),
             start=start_time, end=cluster.sim.now,
             cache_hits=hits, cache_misses=misses))
+    return dereferencer.apply_filter(records, context)
+
+
+def _scan_stage_build(cluster: Cluster, metrics: ExecutionMetrics,
+                      dereferencer: ScanLookupDereferencer,
+                      file: File) -> Iterator:
+    """Materialize a scan-backed stage's replicated hash table, once.
+
+    The first probe pays for it: every node scans its local partitions
+    sequentially (in parallel), spends one core's build CPU, and ships
+    its share of the table to peers — the cost shape of a grace hash
+    join's build side.  Concurrent probes wait on the build event;
+    later probes see ``ready`` and pay nothing.
+    """
+    state = dereferencer.runtime.setdefault(id(cluster), {})
+    if state.get("ready"):
+        return
+    event = state.get("event")
+    if event is not None:
+        yield event
+        return
+    event = cluster.sim.event()
+    state["event"] = event
+
+    def build_on(node_id: int):
+        serving = cluster.serving_node(node_id)
+        node = cluster.node(serving)
+        nbytes = rows = 0
+        for pid in file.partitions_on_node(node_id):
+            nbytes += file.partition_bytes(pid)
+            rows += sum(1 for __ in file.scan_partition(pid))
+        if nbytes:
+            yield from node.disk.sequential_read(nbytes)
+        if rows:
+            yield from node.process_tuples(rows)
+        if cluster.num_nodes > 1 and nbytes:
+            shipped = int(nbytes * (cluster.num_nodes - 1)
+                          / cluster.num_nodes)
+            if shipped:
+                yield from cluster.network.transfer(
+                    serving, (serving + 1) % cluster.num_nodes, shipped)
+
+    procs = [cluster.launch(build_on(n), name=f"scan-stage@{n}")
+             for n in range(cluster.num_nodes)]
+    yield cluster.sim.all_of(procs)
+    dereferencer.table_for(file)
+    metrics.scan_stage_builds += 1
+    metrics.scan_stage_bytes += file.total_bytes
+    state["ready"] = True
+    event.succeed()
+
+
+def _scan_stage_dereference(cluster: Cluster, metrics: ExecutionMetrics,
+                            stage: int,
+                            dereferencer: ScanLookupDereferencer,
+                            file: File, target: Target, partition_id: int,
+                            executing_node: int, context: Any) -> Iterator:
+    """One probe of a scan-backed stage: build-once, then memory lookups."""
+    start_time = cluster.sim.now
+    yield from _scan_stage_build(cluster, metrics, dereferencer, file)
+    records = dereferencer.fetch(file, target, partition_id)
+    metrics.count_fetch(stage, len(records), False, 0)
+    if records:
+        yield from cluster.node(executing_node).process_tuples(len(records))
+    if metrics.trace is not None:
+        metrics.trace.append(TraceEvent(
+            stage=stage, node=executing_node, partition=partition_id,
+            owner_node=executing_node, num_records=len(records),
+            start=start_time, end=cluster.sim.now))
     return dereferencer.apply_filter(records, context)
 
 
@@ -355,6 +440,14 @@ def count_only_dereference(metrics: ExecutionMetrics, stage: int,
     Used by the in-memory reference executor (the correctness oracle and
     the record-access counter behind Figure 9).
     """
+    if isinstance(dereferencer, ScanLookupDereferencer):
+        first_probe = not dereferencer.has_table(file)
+        records = dereferencer.fetch(file, target, partition_id)
+        if first_probe:
+            metrics.scan_stage_builds += 1
+            metrics.scan_stage_bytes += file.total_bytes
+        metrics.count_fetch(stage, len(records), False, 0)
+        return dereferencer.apply_filter(records, context)
     records = dereferencer.fetch(file, target, partition_id)
     reads = _fetch_cost_reads(file, records, _REFERENCE_PAGE_SIZE)
     metrics.count_fetch(stage, len(records), isinstance(file, BtreeFile),

@@ -7,42 +7,50 @@ plans appropriately based on query selectivities; i.e., ReDe would perform
 comparably with Impala in the high selectivity range."  Section V-D frames
 the same idea as integrating LakeHarbor with scan-oriented systems.
 
-This module implements that optimizer:
+This module implements that optimizer as the *whole-query special case*
+of the per-stage planner in :mod:`repro.plan.planner`:
 
-* :class:`CostModel` — analytic estimates of both plans' runtimes from the
-  cluster spec and **structure statistics** (the initial index probe's
-  cardinality is answered exactly by the B-tree, which is the whole point
-  of structures being first-class: the optimizer can ask them);
-* :class:`HybridExecutor` — estimates both plans, runs the cheaper one,
-  and reports the decision.  Its runtime envelope is
-  ``~min(ReDe, scan)`` across the selectivity range, which is exactly the
-  "perform comparably with Impala in the high selectivity range" the
-  paper predicts (regenerated by ``benchmarks/bench_ext_hybrid.py``).
+* :class:`CostModel` — a thin façade over the planner's whole-job cost
+  primitives (the initial index probe's cardinality is answered exactly
+  by the B-tree, which is the whole point of structures being
+  first-class: the optimizer can ask them).  With buffer pools
+  provisioned (``cache_bytes > 0``) the indexed estimate discounts
+  repeated probe IO by the expected hit rate.
+* :class:`HybridExecutor` — a thin wrapper over the planner's two
+  degenerate plans: estimate both, run the cheaper one, report the
+  decision.  Its runtime envelope is ``~min(ReDe, scan)`` across the
+  selectivity range, which is exactly the "perform comparably with
+  Impala in the high selectivity range" the paper predicts (regenerated
+  by ``benchmarks/bench_ext_hybrid.py``).  For mixed per-stage plans use
+  :class:`repro.engine.planned.PlanningExecutor`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional, Sequence
+from typing import Any, Optional
 
-from repro.baselines.scan_engine import (
-    HashJoinNode,
-    PlanNode,
-    ScanEngine,
-    ScanNode,
-)
+from repro.baselines.scan_engine import PlanNode, ScanEngine
 from repro.cluster.cluster import Cluster, ClusterSpec
 from repro.config import DEFAULT_ENGINE_CONFIG, EngineConfig
 from repro.core.catalog import StructureCatalog
-from repro.core.functions import Dereferencer
 from repro.core.job import Job
-from repro.core.pointers import Pointer, PointerRange
 from repro.engine.executor import ReDeExecutor
 from repro.errors import ExecutionError
+from repro.plan.planner import (
+    estimate_indexed_job_seconds,
+    estimate_scan_plan_seconds,
+    initial_cardinality,
+    plan_joins,
+    plan_tables,
+)
 from repro.storage.blockstore import BlockStore
-from repro.storage.files import BtreeFile
 
 __all__ = ["CostModel", "HybridExecutor", "HybridResult", "PlanChoice"]
+
+# Kept under their pre-plan-layer names for callers of the old helpers.
+_plan_tables = plan_tables
+_plan_joins = plan_joins
 
 
 @dataclass(frozen=True)
@@ -70,6 +78,11 @@ class HybridResult:
 class CostModel:
     """Analytic cost estimates for indexed vs scan execution.
 
+    A façade over the whole-job primitives in :mod:`repro.plan.planner`
+    (where the per-stage planner also consults them); at
+    ``cache_bytes == 0`` the arithmetic is identical to the pre-plan
+    formulas.
+
     ``statistics`` selects the cardinality source: ``"exact"`` asks the
     B-trees directly (free in simulation, deterministic), ``"histogram"``
     uses compact equi-depth histograms built once per structure — what a
@@ -79,7 +92,9 @@ class CostModel:
     def __init__(self, cluster_spec: ClusterSpec,
                  per_match_access_factor: Optional[float] = None,
                  statistics: str = "exact",
-                 histogram_buckets: int = 32) -> None:
+                 histogram_buckets: int = 32,
+                 cache_hit_time: float =
+                 DEFAULT_ENGINE_CONFIG.cache_hit_time) -> None:
         if statistics not in ("exact", "histogram"):
             raise ExecutionError(
                 f"statistics must be exact|histogram, got {statistics!r}")
@@ -90,18 +105,10 @@ class CostModel:
         self.per_match_access_factor = per_match_access_factor
         self.statistics = statistics
         self.histogram_buckets = histogram_buckets
+        self.cache_hit_time = cache_hit_time
         self._histograms: dict[str, Any] = {}
 
     # -- statistics ------------------------------------------------------
-
-    def _histogram_for(self, catalog: StructureCatalog, name: str):
-        from repro.storage.stats import build_index_histogram
-
-        if name not in self._histograms:
-            index = catalog.resolve(name)
-            self._histograms[name] = build_index_histogram(
-                index, num_buckets=self.histogram_buckets)
-        return self._histograms[name]
 
     def initial_cardinality(self, catalog: StructureCatalog,
                             job: Job) -> float:
@@ -111,82 +118,33 @@ class CostModel:
         mode the B-tree *is* the statistic; in ``"histogram"`` mode the
         compact summary answers instead.
         """
-        total = 0.0
-        for target in job.inputs:
-            file = catalog.resolve(target.file)
-            if not isinstance(file, BtreeFile):
-                total += 1
-                continue
-            if self.statistics == "histogram":
-                histogram = self._histogram_for(catalog, target.file)
-                if isinstance(target, PointerRange):
-                    total += histogram.estimate_range(target.low,
-                                                      target.high)
-                else:
-                    total += histogram.estimate_equal(target.key)
-                continue
-            if isinstance(target, PointerRange):
-                for pid in range(file.num_partitions):
-                    total += len(file.range_lookup(target, pid))
-            elif isinstance(target, Pointer):
-                pid = file.partition_of_key(
-                    target.partition_key if target.partition_key is not None
-                    else target.key)
-                total += len(file.lookup_in_partition(pid, target))
-        # Exact mode counts whole records; histogram mode interpolates.
-        return int(total) if self.statistics == "exact" else total
+        return initial_cardinality(catalog, job.inputs, self.statistics,
+                                   self._histograms,
+                                   self.histogram_buckets)
 
     # -- estimates -------------------------------------------------------
 
     def estimate_rede_seconds(self, catalog: StructureCatalog,
                               job: Job) -> float:
-        """floor (chain latency) + throughput term (accesses over IOPS)."""
-        cardinality = self.initial_cardinality(catalog, job)
-        num_derefs = sum(1 for f in job.functions
-                         if isinstance(f, Dereferencer))
-        factor = (self.per_match_access_factor
-                  if self.per_match_access_factor is not None
-                  else float(num_derefs))
-        accesses = max(1.0, cardinality * factor)
-        disk = self.spec.node.disk
-        total_iops = disk.random_iops * self.num_nodes
-        latency_floor = num_derefs * disk.random_service_time
-        return latency_floor + accesses / total_iops
+        """floor (chain latency) + throughput term (accesses over IOPS).
+
+        When the cluster provisions buffer pools, repeated probe IO is
+        discounted by the expected hit rate over the job's working set —
+        hits cost RAM service time, not a cold random read.
+        """
+        return estimate_indexed_job_seconds(
+            self.spec, catalog, job, self.per_match_access_factor,
+            self.statistics, self._histograms, self.histogram_buckets,
+            cache_hit_time=self.cache_hit_time)
 
     def estimate_scan_seconds(self, store: BlockStore,
                               plan: PlanNode) -> float:
         """Scan phases at array bandwidth plus per-tuple join CPU."""
-        tables = _plan_tables(plan)
-        total_bytes = sum(store.file_bytes(t) for t in tables)
-        total_rows = sum(store.num_records(t) for t in tables)
-        node = self.spec.node
-        scan_seconds = (total_bytes / self.num_nodes
-                        / node.disk.seq_bandwidth)
-        num_joins = _plan_joins(plan)
-        # Every row flows through roughly each join's build-or-probe once.
-        cpu_seconds = (total_rows * (1 + num_joins) * node.tuple_cpu_time
-                       / (self.num_nodes * node.cores))
-        return scan_seconds + cpu_seconds
+        return estimate_scan_plan_seconds(self.spec, store, plan)
 
     @property
     def num_nodes(self) -> int:
         return self.spec.num_nodes
-
-
-def _plan_tables(plan: PlanNode) -> list[str]:
-    if isinstance(plan, ScanNode):
-        return [plan.table]
-    if isinstance(plan, HashJoinNode):
-        return _plan_tables(plan.build) + _plan_tables(plan.probe)
-    raise ExecutionError(f"unknown plan node {plan!r}")
-
-
-def _plan_joins(plan: PlanNode) -> int:
-    if isinstance(plan, ScanNode):
-        return 0
-    if isinstance(plan, HashJoinNode):
-        return 1 + _plan_joins(plan.build) + _plan_joins(plan.probe)
-    raise ExecutionError(f"unknown plan node {plan!r}")
 
 
 class HybridExecutor:

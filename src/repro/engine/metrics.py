@@ -35,6 +35,10 @@ class ExecutionMetrics:
     cache_hits: int = 0
     #: dereference page lookups that went to disk (pool enabled but cold)
     cache_misses: int = 0
+    #: scan-backed stages materialized (one sequential pass each)
+    scan_stage_builds: int = 0
+    #: bytes sequentially scanned to build scan-backed stage tables
+    scan_stage_bytes: int = 0
     #: dereference invocations that crossed nodes
     remote_fetches: int = 0
     #: bytes moved across the network for remote dereferences
@@ -103,6 +107,8 @@ class ExecutionMetrics:
             "random_reads": self.random_reads,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "scan_stage_builds": self.scan_stage_builds,
+            "scan_stage_bytes": self.scan_stage_bytes,
             "remote_fetches": self.remote_fetches,
             "bytes_transferred": self.bytes_transferred,
             "peak_parallelism": self.peak_parallelism,

@@ -1,0 +1,121 @@
+"""The per-stage planning executor: run whatever the StagePlanner picked.
+
+Where :class:`repro.engine.hybrid.HybridExecutor` chooses between two
+whole-query plans, :class:`PlanningExecutor` accepts a
+:class:`~repro.plan.logical.LogicalPlan`, asks the
+:class:`~repro.plan.planner.StagePlanner` to price every stage, and runs
+the winner:
+
+* ``"mixed"`` / ``"index"`` — lower the physical plan to a Job and run it
+  on a cluster engine (scan-backed stages ride inside the job as
+  :class:`~repro.plan.scanstage.ScanLookupDereferencer` stages, so one
+  execution interleaves sequential scans with index dereferences);
+* ``"scan"`` — hand the degenerate operator tree to the scan baseline.
+
+``force`` bypasses the decision (benchmarks measure all sides with it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baselines.scan_engine import ScanEngine
+from repro.cluster.cluster import Cluster, ClusterSpec
+from repro.config import DEFAULT_ENGINE_CONFIG, EngineConfig
+from repro.core.catalog import StructureCatalog
+from repro.errors import ExecutionError, JobDefinitionError
+from repro.plan.logical import LogicalPlan
+from repro.plan.planner import PlannedQuery, StagePlanner, initial_cardinality
+from repro.storage.blockstore import BlockStore
+
+__all__ = ["PlannedResult", "PlanningExecutor"]
+
+
+@dataclass
+class PlannedResult:
+    """Outcome of executing a planned query."""
+
+    planned: PlannedQuery
+    #: which plan actually ran ("mixed" | "index" | "scan"); differs from
+    #: ``planned.chosen`` only under ``force``
+    executed: str
+    rows: list
+    elapsed_seconds: float
+    record_accesses: int  # 0 for scan-engine executions
+
+
+class PlanningExecutor:
+    """Plan a logical chain per stage, then execute the chosen plan."""
+
+    def __init__(self, catalog: StructureCatalog, store: BlockStore,
+                 cluster_spec: ClusterSpec,
+                 config: EngineConfig = DEFAULT_ENGINE_CONFIG,
+                 per_match_access_factor: Optional[float] = None,
+                 statistics: str = "exact",
+                 margin: float = 0.9,
+                 mode: str = "smpe") -> None:
+        self.catalog = catalog
+        self.store = store
+        self.cluster_spec = cluster_spec
+        self.config = config
+        self.per_match_access_factor = per_match_access_factor
+        self.mode = mode
+        self.planner = StagePlanner(catalog, store, cluster_spec,
+                                    config=config, statistics=statistics,
+                                    margin=margin)
+
+    def calibrate(self, logical: LogicalPlan) -> float:
+        """Set the whole-job access factor from one observed reference run.
+
+        Same feedback loop as :meth:`HybridExecutor.calibrate
+        <repro.engine.hybrid.HybridExecutor.calibrate>`: run the all-index
+        job on the simulation-free oracle, measure actual record accesses
+        per initial match, and install that factor for the whole-job index
+        estimate (per-stage estimates keep their own statistics).
+        """
+        from repro.engine.reference import ReferenceExecutor
+        from repro.plan.lowering import compile_logical
+
+        job = compile_logical(logical, self.catalog).to_job(self.catalog)
+        result = ReferenceExecutor(self.catalog).execute(job)
+        cardinality = max(1.0, float(initial_cardinality(
+            self.catalog, job.inputs, self.planner.statistics,
+            self.planner._histograms, self.planner.histogram_buckets)))
+        self.per_match_access_factor = (result.metrics.record_accesses
+                                        / cardinality)
+        return self.per_match_access_factor
+
+    def plan(self, logical: LogicalPlan) -> PlannedQuery:
+        """Price every stage and decide mixed vs index vs scan."""
+        return self.planner.plan(
+            logical, per_match_access_factor=self.per_match_access_factor)
+
+    def execute(self, logical: LogicalPlan,
+                force: Optional[str] = None) -> PlannedResult:
+        """Plan then run; ``force`` in {"mixed", "index", "scan"} bypasses
+        the decision."""
+        planned = self.plan(logical)
+        executed = force or planned.chosen
+        if executed not in ("mixed", "index", "scan"):
+            raise ExecutionError(
+                f"force must be mixed|index|scan, got {executed!r}")
+        if executed == "scan":
+            if planned.scan_plan is None:
+                raise JobDefinitionError(
+                    f"chain {logical.name!r} has no scan-engine "
+                    "equivalent (see plan.lowering.to_scan_plan)")
+            engine = ScanEngine(Cluster(self.cluster_spec), self.store)
+            result = engine.execute(planned.scan_plan)
+            return PlannedResult(planned, executed, result.rows,
+                                 result.metrics.elapsed_seconds, 0)
+        physical = planned.mixed if executed == "mixed" else planned.all_index
+        job = physical.to_job(self.catalog)
+        from repro.engine.executor import ReDeExecutor
+
+        executor = ReDeExecutor(Cluster(self.cluster_spec), self.catalog,
+                                config=self.config, mode=self.mode)
+        result = executor.execute(job)
+        return PlannedResult(planned, executed, result.rows,
+                             result.metrics.elapsed_seconds,
+                             result.metrics.record_accesses)

@@ -1,0 +1,43 @@
+"""The plan layer: a shared IR between frontends, optimizer, and engines.
+
+Section V-A of the paper calls higher-level abstractions "an opportunity
+for query optimizations"; Section V-D frames integration with
+scan-oriented systems.  This package is the lever for both: chains build
+a :class:`LogicalPlan`, the per-stage planner picks an access path for
+every stage (:class:`PhysicalPlan`), and lowering emits the plain
+:class:`~repro.core.job.Job` (or scan-engine operator tree) the existing
+engines run unchanged.
+
+Layering: ``plan`` sits between ``core`` and ``engine`` — it may import
+``core``, ``storage``, ``cluster``, and ``baselines``, and is imported by
+``engine`` and (lazily) by ``core.chain``.  It must never import
+``engine``.
+"""
+
+from repro.plan.logical import JoinNode, LogicalPlan, SourceNode
+from repro.plan.lowering import compile_logical, lower_physical, to_scan_plan
+from repro.plan.physical import (
+    ACCESS_INDEX,
+    ACCESS_SCAN,
+    PhysicalPlan,
+    PhysicalStage,
+)
+from repro.plan.planner import PlannedQuery, StageEstimate, StagePlanner
+from repro.plan.scanstage import ScanLookupDereferencer
+
+__all__ = [
+    "ACCESS_INDEX",
+    "ACCESS_SCAN",
+    "JoinNode",
+    "LogicalPlan",
+    "PhysicalPlan",
+    "PhysicalStage",
+    "PlannedQuery",
+    "ScanLookupDereferencer",
+    "SourceNode",
+    "StageEstimate",
+    "StagePlanner",
+    "compile_logical",
+    "lower_physical",
+    "to_scan_plan",
+]

@@ -1,0 +1,372 @@
+"""Lowering: LogicalPlan → PhysicalPlan → Job (or scan-engine plan).
+
+Three compilers live here:
+
+* :func:`compile_logical` — annotate each logical node with an access
+  path and routing, producing a :class:`PhysicalPlan`.  The default is
+  all-index, which lowers to *exactly* the function list the pre-plan
+  ``ChainQuery`` emitted (the structural tests pin this).
+* :func:`lower_physical` — emit the :class:`~repro.core.job.Job`.  Index
+  stages use the classic referencer/dereferencer pairs; scan stages swap
+  the fetch for a :class:`~repro.plan.scanstage.ScanLookupDereferencer`
+  (resolved through the catalog's loader/access-method metadata), so one
+  job interleaves both kinds.
+* :func:`to_scan_plan` — the all-scan degenerate as a
+  :mod:`repro.baselines.scan_engine` operator tree, when every node's
+  keys and filters are expressible as scans (raises
+  :class:`JobDefinitionError` otherwise; the planner treats that as
+  "scan plan unavailable").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence, Union
+
+from repro.baselines.scan_engine import HashJoinNode, PlanNode, ScanNode
+from repro.core.functions import (
+    Dereferencer,
+    FileLookupDereferencer,
+    IndexEntryReferencer,
+    IndexLookupDereferencer,
+    IndexRangeDereferencer,
+    KeyReferencer,
+    Referencer,
+)
+from repro.core.interpreters import (
+    AndFilter,
+    ContextMatchFilter,
+    FieldEqualsFilter,
+    FieldRangeFilter,
+    Filter,
+)
+from repro.core.job import Job
+from repro.core.pointers import Pointer, PointerRange
+from repro.errors import JobDefinitionError
+from repro.plan.logical import JoinNode, LogicalPlan, SourceNode
+from repro.plan.physical import (
+    ACCESS_INDEX,
+    ACCESS_SCAN,
+    PhysicalPlan,
+    PhysicalStage,
+)
+from repro.plan.scanstage import KeyExtractor, ScanLookupDereferencer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.catalog import StructureCatalog
+
+__all__ = ["compile_logical", "lower_physical", "to_scan_plan"]
+
+
+def compile_logical(logical: LogicalPlan,
+                    catalog: Optional["StructureCatalog"] = None,
+                    access_paths: Optional[Sequence[str]] = None
+                    ) -> PhysicalPlan:
+    """Pin an access path and routing onto every logical node.
+
+    Without ``access_paths`` every stage is index-backed — the identity
+    compilation every pre-plan chain used.  The catalog, when given,
+    refines routing from structure scopes; it is never required for the
+    all-index path.
+    """
+    if not logical.nodes:
+        raise JobDefinitionError("cannot compile an empty chain")
+    if access_paths is None:
+        access_paths = [ACCESS_INDEX] * len(logical.nodes)
+    if len(access_paths) != len(logical.nodes):
+        raise JobDefinitionError(
+            f"{len(access_paths)} access paths for "
+            f"{len(logical.nodes)} logical nodes")
+    stages = []
+    for node, path in zip(logical.nodes, access_paths):
+        stages.append(PhysicalStage(
+            node=node, access_path=path,
+            routing=_routing_of(node, path, catalog),
+            estimated_rows=node.estimated_rows))
+    return PhysicalPlan(logical.name, logical.interpreter, stages)
+
+
+def _routing_of(node: Union[SourceNode, JoinNode], path: str,
+                catalog: Optional["StructureCatalog"]) -> str:
+    if path == ACCESS_SCAN:
+        return "replicated"  # the hash table is built on every node
+    if isinstance(node, JoinNode):
+        if node.broadcast:
+            return "broadcast"
+        probed = node.via_index if node.via_index is not None else node.target
+        return _scope_routing(probed, catalog)
+    return _scope_routing(node.structure, catalog)
+
+
+def _scope_routing(structure: str,
+                   catalog: Optional["StructureCatalog"]) -> str:
+    if catalog is not None:
+        try:
+            scope = catalog.definition(structure).scope
+        except Exception:
+            scope = None
+        if scope in ("local", "replicated"):
+            return scope
+    return "partitioned"
+
+
+# -- physical -> Job --------------------------------------------------------
+
+
+def lower_physical(physical: PhysicalPlan,
+                   catalog: Optional["StructureCatalog"] = None) -> Job:
+    """Emit the Reference-Dereference job a physical plan denotes.
+
+    All-index plans need no catalog and reproduce the classic chain
+    compilation function-for-function.  Scan stages resolve their join
+    keys through the catalog (loader key for direct joins, access-method
+    keys for ``via_index`` joins).
+    """
+    interpreter = physical.interpreter
+    functions: list[Union[Referencer, Dereferencer]] = []
+    inputs: list[Union[Pointer, PointerRange]] = []
+    for stage in physical.stages:
+        node = stage.node
+        scan_backed = stage.access_path == ACCESS_SCAN
+        if scan_backed and catalog is None:
+            raise JobDefinitionError(
+                f"lowering the scan-backed stage for {node.fetches!r} "
+                "needs a catalog to resolve its join keys")
+        if isinstance(node, SourceNode):
+            _lower_source(node, scan_backed, catalog, functions, inputs)
+        else:
+            _lower_join(node, scan_backed, interpreter, catalog, functions)
+    return Job(functions, inputs, name=physical.name)
+
+
+def _lower_source(node: SourceNode, scan_backed: bool,
+                  catalog: Optional["StructureCatalog"],
+                  functions: list, inputs: list) -> None:
+    if node.kind == "index_range":
+        functions.append(IndexRangeDereferencer(node.structure))
+        inputs.append(PointerRange(node.structure, node.low, node.high))
+    elif node.kind == "index_lookup":
+        functions.append(IndexLookupDereferencer(node.structure))
+        inputs.extend(Pointer(node.structure, key, key)
+                      for key in node.keys)
+    else:  # pointers
+        functions.append(FileLookupDereferencer(node.structure))
+        inputs.extend(Pointer(node.structure, key, key)
+                      for key in node.keys)
+    if node.base is not None:
+        functions.append(IndexEntryReferencer(node.base))
+        if scan_backed:
+            functions.append(ScanLookupDereferencer(
+                node.base, _loader_keys(catalog, node.base),
+                filter=_fold_filters(node.filters)))
+            return
+        functions.append(FileLookupDereferencer(node.base))
+    # Filters attach to the node's last dereferencer (the base fetch when
+    # one exists, else the probe itself).
+    _attach_filters(functions[-1], node.filters)
+
+
+def _lower_join(node: JoinNode, scan_backed: bool, interpreter,
+                catalog: Optional["StructureCatalog"],
+                functions: list) -> None:
+    if scan_backed:
+        # The referencer targets the base file directly — the hash table
+        # subsumes both the optional secondary index and the heap fetch.
+        functions.append(KeyReferencer(
+            node.target, interpreter, key_field=node.key,
+            key_from_context=node.context_key, carry=node.carry,
+            broadcast=False))
+        functions.append(ScanLookupDereferencer(
+            node.target, _scan_join_keys(catalog, node),
+            filter=_fold_filters(node.filters)))
+        return
+    probe_target = (node.via_index if node.via_index is not None
+                    else node.target)
+    functions.append(KeyReferencer(
+        probe_target, interpreter, key_field=node.key,
+        key_from_context=node.context_key, carry=node.carry,
+        broadcast=node.broadcast))
+    if node.via_index is not None:
+        functions.append(IndexLookupDereferencer(node.via_index))
+        functions.append(IndexEntryReferencer(node.target))
+        functions.append(FileLookupDereferencer(node.target))
+    else:
+        functions.append(FileLookupDereferencer(node.target))
+    _attach_filters(functions[-1], node.filters)
+
+
+def _attach_filters(dereferencer: Dereferencer,
+                    filters: Sequence[Filter]) -> None:
+    for new_filter in filters:
+        if dereferencer.filter is None:
+            dereferencer.filter = new_filter
+        else:
+            dereferencer.filter = AndFilter(dereferencer.filter, new_filter)
+
+
+def _fold_filters(filters: Sequence[Filter]) -> Optional[Filter]:
+    folded: Optional[Filter] = None
+    for new_filter in filters:
+        folded = (new_filter if folded is None
+                  else AndFilter(folded, new_filter))
+    return folded
+
+
+def _loader_keys(catalog: "StructureCatalog", name: str) -> KeyExtractor:
+    info = catalog.dfs.loader_info(name)
+
+    def keys(record) -> list:
+        key = info.key_fn(record)
+        return [] if key is None else [key]
+
+    return keys
+
+
+def _scan_join_keys(catalog: "StructureCatalog",
+                    node: JoinNode) -> KeyExtractor:
+    """Which key(s) a target record is findable under for this join."""
+    if node.via_index is not None:
+        return catalog.definition(node.via_index).extract_keys
+    return _loader_keys(catalog, node.target)
+
+
+# -- logical -> all-scan operator tree --------------------------------------
+
+
+def to_scan_plan(logical: LogicalPlan,
+                 catalog: "StructureCatalog") -> PlanNode:
+    """The all-scan degenerate plan: left-deep grace hash joins.
+
+    Each chain hop becomes ``HashJoin(build=chain-so-far,
+    probe=Scan(target))``; source predicates and field filters push into
+    the scans, context-match filters become join residuals.  Raises
+    :class:`JobDefinitionError` when a node cannot be expressed as a scan
+    (opaque key functions or predicate filters) — callers treat that as
+    "no scan plan for this query".
+    """
+    source = logical.source
+    if source.base is None and source.kind != "pointers":
+        raise JobDefinitionError(
+            "a bare index probe has no scan equivalent (no base records "
+            "are fetched)")
+    # ``ctx name -> row field`` accumulated from carry specs, so residuals
+    # and context-keyed joins can find the originating column.
+    ctx_fields: dict[str, str] = {}
+    plan: PlanNode = _source_scan(source, catalog, logical)
+    for join in logical.joins:
+        for ctx_name, fieldname in join.carry.items():
+            ctx_fields[ctx_name] = fieldname
+        plan = _join_scan(plan, join, catalog, logical, ctx_fields)
+    return plan
+
+
+def _field_predicate(filters: Sequence[Filter],
+                     extra: Optional[Callable[[dict], bool]] = None
+                     ) -> Optional[Callable[[dict], bool]]:
+    checks: list[Callable[[dict], bool]] = [extra] if extra else []
+    for flt in filters:
+        if isinstance(flt, FieldEqualsFilter):
+            checks.append(_equals_check(flt.field, flt.value))
+        elif isinstance(flt, FieldRangeFilter):
+            checks.append(_range_check(flt.field, flt.low, flt.high))
+        elif isinstance(flt, ContextMatchFilter):
+            continue  # becomes a join residual
+        else:
+            raise JobDefinitionError(
+                f"filter {type(flt).__name__} has no scan equivalent")
+    if not checks:
+        return None
+    if len(checks) == 1:
+        return checks[0]
+    return lambda row: all(check(row) for check in checks)
+
+
+def _equals_check(fieldname: str, value: Any) -> Callable[[dict], bool]:
+    return lambda row: row.get(fieldname) == value
+
+
+def _range_check(fieldname: str, low: Any,
+                 high: Any) -> Callable[[dict], bool]:
+    def check(row: dict) -> bool:
+        value = row.get(fieldname)
+        if value is None:
+            return False
+        if low is not None and value < low:
+            return False
+        if high is not None and value > high:
+            return False
+        return True
+
+    return check
+
+
+def _source_scan(source: SourceNode, catalog: "StructureCatalog",
+                 logical: LogicalPlan) -> ScanNode:
+    if source.kind == "pointers":
+        raise JobDefinitionError(
+            "pointer sources use opaque loader keys; no scan equivalent")
+    defn = catalog.definition(source.structure)
+    if defn.key_field is None:
+        raise JobDefinitionError(
+            f"index {source.structure!r} uses a key function; its probe "
+            "cannot be re-expressed as a scan predicate")
+    fieldname = defn.key_field
+    if source.kind == "index_range":
+        probe = _range_check(fieldname, source.low, source.high)
+    else:
+        wanted = set(source.keys)
+        probe = lambda row: row.get(fieldname) in wanted  # noqa: E731
+    return ScanNode(source.base,  # type: ignore[arg-type]
+                    predicate=_field_predicate(source.filters, probe),
+                    interpreter=logical.interpreter)
+
+
+def _join_scan(build: PlanNode, join: JoinNode,
+               catalog: "StructureCatalog", logical: LogicalPlan,
+               ctx_fields: dict[str, str]) -> HashJoinNode:
+    if join.key is not None:
+        build_field = join.key
+    else:
+        assert join.context_key is not None
+        build_field = ctx_fields.get(join.context_key, join.context_key)
+    if join.via_index is not None:
+        defn = catalog.definition(join.via_index)
+        if defn.key_field is None:
+            raise JobDefinitionError(
+                f"index {join.via_index!r} uses a key function; the join "
+                "cannot be re-expressed as a scan")
+        probe_key = _row_field(defn.key_field)
+    else:
+        info = catalog.dfs.loader_info(join.target)
+        # Loader extractors subscript their record; joined rows are flat
+        # dicts with the same field names, so they apply directly.
+        probe_key = info.key_fn
+    residual = _residual_of(join, ctx_fields)
+    return HashJoinNode(
+        build=build,
+        probe=ScanNode(join.target,
+                       predicate=_field_predicate(join.filters),
+                       interpreter=logical.interpreter),
+        build_key=_row_field(build_field),
+        probe_key=probe_key,
+        residual=residual)
+
+
+def _row_field(fieldname: str) -> Callable[[dict], Any]:
+    return lambda row: row.get(fieldname)
+
+
+def _residual_of(join: JoinNode, ctx_fields: dict[str, str]
+                 ) -> Optional[Callable[[dict], bool]]:
+    residuals = []
+    for flt in join.filters:
+        if isinstance(flt, ContextMatchFilter):
+            origin = ctx_fields.get(flt.context_key, flt.context_key)
+            residuals.append((flt.field, origin))
+    if not residuals:
+        return None
+
+    def residual(row: dict) -> bool:
+        return all(row.get(fieldname) == row.get(origin)
+                   for fieldname, origin in residuals)
+
+    return residual

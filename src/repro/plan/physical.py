@@ -1,0 +1,107 @@
+"""Physical plans: one access-path decision per logical node.
+
+A :class:`PhysicalStage` pins down *how* a logical node's records are
+reached — ``index`` (probe B-trees / fetch heap pages by pointer, today's
+only mode) or ``scan`` (replicate a hash table built from one sequential
+pass over the target, then probe it in memory) — and how probes are
+*routed* (``partitioned`` to the owning partition, ``broadcast`` to every
+partition, ``replicated``/``local`` per the structure's scope).
+
+Lowering a physical plan yields an ordinary
+:class:`~repro.core.job.Job`, so every existing engine executes mixed
+plans unchanged (see :mod:`repro.plan.lowering`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.interpreters import Interpreter
+from repro.errors import JobDefinitionError
+from repro.plan.logical import JoinNode, LogicalNode, SourceNode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.catalog import StructureCatalog
+    from repro.core.job import Job
+
+__all__ = ["ACCESS_INDEX", "ACCESS_SCAN", "PhysicalStage", "PhysicalPlan"]
+
+#: probe structures with pointers (B-tree probes + heap-page fetches)
+ACCESS_INDEX = "index"
+#: one sequential pass builds a replicated hash table; probes hit memory
+ACCESS_SCAN = "scan"
+
+_ROUTINGS = ("partitioned", "broadcast", "replicated", "local")
+
+
+@dataclass(frozen=True)
+class PhysicalStage:
+    """One logical node with its chosen access path and routing."""
+
+    node: LogicalNode
+    access_path: str
+    routing: str
+    estimated_rows: Optional[float] = None
+    estimated_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.access_path not in (ACCESS_INDEX, ACCESS_SCAN):
+            raise JobDefinitionError(
+                f"unknown access path {self.access_path!r}")
+        if self.routing not in _ROUTINGS:
+            raise JobDefinitionError(f"unknown routing {self.routing!r}")
+        if self.access_path == ACCESS_SCAN:
+            if isinstance(self.node, JoinNode) and self.node.broadcast:
+                raise JobDefinitionError(
+                    "a broadcast join cannot be scan-backed (the hash "
+                    "table already reaches every partition)")
+
+    def describe(self) -> str:
+        line = f"{self.node.describe()}  [{self.access_path}/{self.routing}]"
+        if self.estimated_rows is not None:
+            line += f"  ~{self.estimated_rows:.0f} rows"
+        if self.estimated_seconds is not None:
+            line += f"  ~{self.estimated_seconds * 1e3:.2f}ms"
+        return line
+
+
+class PhysicalPlan:
+    """An executable per-stage plan; lowers to a plain :class:`Job`."""
+
+    def __init__(self, name: str, interpreter: Interpreter,
+                 stages: list[PhysicalStage]) -> None:
+        if not stages:
+            raise JobDefinitionError("a physical plan needs stages")
+        if not isinstance(stages[0].node, SourceNode):
+            raise JobDefinitionError(
+                "the first physical stage must wrap the source node")
+        self.name = name
+        self.interpreter = interpreter
+        self.stages = list(stages)
+
+    @property
+    def access_paths(self) -> tuple[str, ...]:
+        return tuple(stage.access_path for stage in self.stages)
+
+    @property
+    def is_pure_index(self) -> bool:
+        return all(path == ACCESS_INDEX for path in self.access_paths)
+
+    def to_job(self, catalog: Optional["StructureCatalog"] = None) -> "Job":
+        """Lower to a Reference-Dereference job (see lowering module)."""
+        from repro.plan.lowering import lower_physical
+
+        return lower_physical(self, catalog)
+
+    def describe(self) -> str:
+        lines = [f"PhysicalPlan {self.name!r} ({len(self.stages)} stages)"]
+        for index, stage in enumerate(self.stages):
+            lines.append(f"  [{index}] {stage.describe()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        chain = " -> ".join(
+            f"{stage.node.fetches}:{stage.access_path}"
+            for stage in self.stages)
+        return f"PhysicalPlan({self.name!r}: {chain})"

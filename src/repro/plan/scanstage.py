@@ -1,0 +1,80 @@
+"""The scan-backed stage: a replicated hash table probed like a structure.
+
+:class:`ScanLookupDereferencer` is how a *scan* access path rides inside
+an ordinary Reference-Dereference job: upstream referencers emit the same
+keyed pointers they always do, but instead of paying a random read per
+probe, the first probe triggers one sequential pass over the target file
+(every node scans its local partitions, builds a hash table on the join
+key, and replicates it — charged in :mod:`repro.engine.access`), and
+every probe after that is an in-memory hash lookup.
+
+This mirrors what a scan engine's grace hash join does with the build
+side, expressed as a dereferencer so SMPE/partitioned/reference engines
+can interleave scan stages with index stages in one job.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Union
+
+from repro.core.interpreters import Filter
+from repro.core.pointers import Pointer, PointerRange
+from repro.core.records import Record
+from repro.core.functions import Dereferencer
+from repro.errors import ExecutionError, JobDefinitionError
+from repro.storage.files import File, PartitionedFile
+
+__all__ = ["ScanLookupDereferencer"]
+
+#: ``Record -> list of join keys`` (multi-valued keys supported)
+KeyExtractor = Callable[[Record], list]
+
+
+class ScanLookupDereferencer(Dereferencer):
+    """Fetch by key from a hash table built by scanning the whole file.
+
+    ``key_of`` extracts the join key(s) a record is findable under.  The
+    table is built lazily per file object and shared by every probe;
+    ``runtime`` is scratch space for the engine-side cost charging (one
+    scan per cluster, concurrent probes wait on the build).
+    """
+
+    def __init__(self, file_name: str, key_of: KeyExtractor,
+                 filter: Optional[Filter] = None) -> None:
+        super().__init__(file_name, filter)
+        self.key_of = key_of
+        self._tables: dict[int, dict[Any, list[Record]]] = {}
+        #: per-cluster build state, keyed by ``id(cluster)`` — owned by
+        #: :func:`repro.engine.access.simulated_dereference`
+        self.runtime: dict[int, dict[str, Any]] = {}
+
+    def has_table(self, file: File) -> bool:
+        return id(file) in self._tables
+
+    def table_for(self, file: File) -> dict[Any, list[Record]]:
+        """The hash table over ``file``, built on first use."""
+        if not isinstance(file, PartitionedFile):
+            raise JobDefinitionError(
+                f"{type(self).__name__} targets {self.file_name!r}, which "
+                "is not a base file (scan-backed stages scan heap files)")
+        table = self._tables.get(id(file))
+        if table is None:
+            table = {}
+            for pid in range(file.num_partitions):
+                for record in file.scan_partition(pid):
+                    for key in self.key_of(record):
+                        table.setdefault(key, []).append(record)
+            self._tables[id(file)] = table
+        return table
+
+    def fetch(self, file: File, target: Union[Pointer, PointerRange],
+              partition_id: int) -> list[Record]:
+        if isinstance(target, PointerRange):
+            raise ExecutionError(
+                "scan-backed dereferencer cannot take a pointer range")
+        if target.partition_key is None:
+            raise ExecutionError(
+                "scan-backed dereferencer cannot take broadcast pointers "
+                "(the hash table already covers every partition)")
+        # partition_id is irrelevant: the table is replicated everywhere.
+        return list(self.table_for(file).get(target.key, ()))

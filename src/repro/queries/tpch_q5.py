@@ -30,7 +30,7 @@ Both produce identical row sets (asserted in the integration tests) via
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.catalog import AccessMethodDefinition, StructureCatalog
 from repro.core.functions import (
@@ -53,6 +53,9 @@ from repro.engine.metrics import JobResult
 from repro.baselines.scan_engine import ScanResult
 from repro.storage.blockstore import BlockStore
 from repro.storage.dfs import DistributedFileSystem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.chain import ChainQuery
 
 __all__ = ["TpchWorkload", "canonical_q5_rows_rede",
            "canonical_q5_rows_scan", "DEFAULT_REGION"]
@@ -208,6 +211,33 @@ class TpchWorkload:
             .input(PointerRange("idx_orders_orderdate", date_low,
                                 date_high))
             .build())
+
+    def q5_chain(self, date_low: str, date_high: str,
+                 region: str = DEFAULT_REGION) -> "ChainQuery":
+        """Q5′ as a :class:`~repro.core.chain.ChainQuery`.
+
+        Compiles (all-index) to exactly the functions of :meth:`q5_job`;
+        its :meth:`~repro.core.chain.ChainQuery.logical_plan` is what the
+        per-stage planner (:class:`repro.plan.planner.StagePlanner`)
+        inspects to emit mixed scan/index physical plans.
+        """
+        from repro.core.chain import ChainQuery
+
+        return (ChainQuery("tpch_q5", interpreter=_INTERP)
+                .from_index_range("idx_orders_orderdate", date_low,
+                                  date_high, base="orders")
+                .join("customer", key="o_custkey",
+                      carry=["o_orderkey", "o_orderdate"])
+                .join("nation", key="c_nationkey",
+                      carry=["c_custkey", "c_nationkey"])
+                .join("region", key="n_regionkey", carry=["n_name"])
+                .filter_equals("r_name", region)
+                .join("lineitem", context_key="o_orderkey",
+                      carry=["r_name"])
+                .join("supplier", key="l_suppkey",
+                      carry=["l_orderkey", "l_linenumber", "l_suppkey",
+                             "l_extendedprice", "l_discount"])
+                .filter_context_match("s_nationkey", "c_nationkey"))
 
     # -- the scan-engine plan -------------------------------------------------
 

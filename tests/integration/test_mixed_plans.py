@@ -1,0 +1,116 @@
+"""Integration: mixed scan/index plans agree with both pure plans on Q5'.
+
+One executed job interleaves scan-backed stages (replicated hash tables
+built by one sequential pass) with index dereferences, on every cluster
+engine — the tentpole property of the plan layer.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.engine import PlanningExecutor, ReDeExecutor
+from repro.queries import (
+    TpchWorkload,
+    canonical_q5_rows_rede,
+    canonical_q5_rows_scan,
+)
+
+SCALE = 0.001
+NUM_NODES = 4
+REGION = "ASIA"
+SELECTIVITY = 0.2
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return TpchWorkload(scale_factor=SCALE, seed=3, num_nodes=NUM_NODES,
+                        block_size=64 * 1024)
+
+
+@pytest.fixture(scope="module")
+def spec(workload):
+    return workload.make_cluster(scan_seconds=0.25).spec
+
+
+@pytest.fixture(scope="module")
+def logical(workload):
+    low, high = workload.date_range(SELECTIVITY)
+    return workload.q5_chain(low, high, REGION).logical_plan()
+
+
+@pytest.fixture(scope="module")
+def planned(workload, spec, logical):
+    executor = PlanningExecutor(workload.catalog, workload.blockstore,
+                                spec)
+    return executor.plan(logical)
+
+
+class TestMixedPlanCorrectness:
+    def test_q5_plan_really_is_mixed(self, planned):
+        assert planned.chosen == "mixed"
+        assert "scan" in planned.mixed.access_paths
+        assert "index" in planned.mixed.access_paths
+
+    def test_all_three_plans_same_rows(self, workload, spec, logical):
+        executor = PlanningExecutor(workload.catalog, workload.blockstore,
+                                    spec)
+        mixed = executor.execute(logical, force="mixed")
+        index = executor.execute(logical, force="index")
+        scan = executor.execute(logical, force="scan")
+        assert len(mixed.rows) > 0
+        assert (canonical_q5_rows_rede(mixed)
+                == canonical_q5_rows_rede(index)
+                == canonical_q5_rows_scan(scan))
+
+    def test_every_engine_runs_the_mixed_job(self, workload, spec,
+                                             planned):
+        job = planned.mixed.to_job(workload.catalog)
+        reference = ReDeExecutor(None, workload.catalog,
+                                 mode="reference").execute(job)
+        expected = canonical_q5_rows_rede(reference)
+        assert expected
+        for mode in ("smpe", "partitioned"):
+            result = ReDeExecutor(Cluster(spec), workload.catalog,
+                                  mode=mode).execute(job)
+            assert canonical_q5_rows_rede(result) == expected, mode
+
+    def test_mixed_beats_both_pure_plans_here(self, workload, spec,
+                                              logical):
+        executor = PlanningExecutor(workload.catalog, workload.blockstore,
+                                    spec)
+        mixed = executor.execute(logical, force="mixed")
+        index = executor.execute(logical, force="index")
+        scan = executor.execute(logical, force="scan")
+        assert mixed.elapsed_seconds < index.elapsed_seconds
+        assert mixed.elapsed_seconds < scan.elapsed_seconds
+
+
+class TestScanStageAccounting:
+    def test_cluster_metrics_count_scan_builds(self, workload, spec,
+                                               planned):
+        job = planned.mixed.to_job(workload.catalog)
+        result = ReDeExecutor(Cluster(spec), workload.catalog,
+                              mode="smpe").execute(job)
+        expected_builds = sum(1 for path in planned.mixed.access_paths
+                              if path == "scan")
+        assert result.metrics.scan_stage_builds == expected_builds
+        assert result.metrics.scan_stage_bytes > 0
+
+    def test_reference_metrics_count_scan_builds(self, workload, planned):
+        job = planned.mixed.to_job(workload.catalog)
+        result = ReDeExecutor(None, workload.catalog,
+                              mode="reference").execute(job)
+        assert result.metrics.scan_stage_builds == sum(
+            1 for path in planned.mixed.access_paths if path == "scan")
+
+    def test_scan_stage_probes_charge_no_random_reads(self, workload,
+                                                      spec, planned):
+        """Scan-backed probes are in-memory: the mixed job charges fewer
+        random reads than the all-index job."""
+        mixed_job = planned.mixed.to_job(workload.catalog)
+        index_job = planned.all_index.to_job(workload.catalog)
+        mixed = ReDeExecutor(Cluster(spec), workload.catalog,
+                             mode="smpe").execute(mixed_job)
+        index = ReDeExecutor(Cluster(spec), workload.catalog,
+                             mode="smpe").execute(index_job)
+        assert mixed.metrics.random_reads < index.metrics.random_reads

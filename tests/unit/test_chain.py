@@ -61,9 +61,10 @@ class TestChainStructure:
     def test_join_from_context(self):
         job = (ChainQuery("q")
                .from_pointers("t", [1])
-               .join("u", context_key="saved")
+               .join("u", key="fk", carry=["saved"])
+               .join("v", context_key="saved")
                .build())
-        referencer = job.functions[1]
+        referencer = job.functions[3]
         assert referencer.key_from_context == "saved"
 
     def test_broadcast_join(self):

@@ -50,6 +50,28 @@ class TestCommands:
         assert "0.400" in out
 
 
+class TestPlanCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.scale == 0.002
+        assert args.selectivity == 0.2
+        assert not args.execute
+
+    def test_plan_prints_decision_table(self, capsys):
+        assert main(["plan", "--scale", "0.0005", "--nodes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "PlannedQuery 'tpch_q5'" in out
+        assert "chosen=" in out
+        assert "join:lineitem" in out
+
+    def test_plan_execute_reports_runtime(self, capsys):
+        assert main(["plan", "--scale", "0.0005", "--nodes", "4",
+                     "--execute"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated ms" in out
+        assert "record accesses" in out
+
+
 class TestChaosCommand:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["chaos"])

@@ -1,0 +1,286 @@
+"""Unit tests for the plan layer: logical IR, physical plans, lowering."""
+
+import pytest
+
+from repro.core import (
+    AccessMethodDefinition,
+    ChainQuery,
+    FileLookupDereferencer,
+    IndexEntryReferencer,
+    IndexLookupDereferencer,
+    IndexRangeDereferencer,
+    KeyReferencer,
+    MappingInterpreter,
+    Record,
+    StructureCatalog,
+)
+from repro.core.pointers import Pointer, PointerRange
+from repro.errors import ExecutionError, JobDefinitionError
+from repro.plan import (
+    ACCESS_INDEX,
+    ACCESS_SCAN,
+    LogicalPlan,
+    PhysicalPlan,
+    PhysicalStage,
+    ScanLookupDereferencer,
+    compile_logical,
+    to_scan_plan,
+)
+from repro.baselines.scan_engine import HashJoinNode, ScanNode
+from repro.storage import DistributedFileSystem
+
+INTERP = MappingInterpreter()
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    dfs = DistributedFileSystem(num_nodes=2)
+    catalog = StructureCatalog(dfs)
+    parents = [Record({"pk": i, "attr": i % 4}) for i in range(20)]
+    children = [Record({"pk": i, "fk": i % 20, "w": i % 3})
+                for i in range(60)]
+    catalog.register_file("parent", parents, lambda r: r["pk"])
+    catalog.register_file("child", children, lambda r: r["pk"])
+    catalog.register_access_method(AccessMethodDefinition(
+        "idx_attr", "parent", interpreter=INTERP, key_field="attr",
+        scope="local"))
+    catalog.register_access_method(AccessMethodDefinition(
+        "idx_child_fk", "child", interpreter=INTERP, key_field="fk",
+        scope="global"))
+    catalog.build_all()
+    return catalog
+
+
+def sample_chain():
+    return (ChainQuery("q", interpreter=INTERP)
+            .from_index_range("idx_attr", 0, 2, base="parent")
+            .join("child", key="pk", carry=["pk", "attr"])
+            .filter_equals("w", 1))
+
+
+class TestLogicalPlan:
+    def test_chain_records_typed_nodes(self):
+        logical = sample_chain().logical_plan()
+        assert logical.source.kind == "index_range"
+        assert logical.source.structure == "idx_attr"
+        assert logical.source.base == "parent"
+        assert [j.target for j in logical.joins] == ["child"]
+
+    def test_carried_context_accumulates(self):
+        logical = (ChainQuery("q")
+                   .from_pointers("t", [1])
+                   .join("u", key="a", carry=["x"])
+                   .join("v", key="b", carry=["y"])
+                   .logical_plan())
+        assert logical.carried_context == ("x", "y")
+        assert logical.joins[0].carried_context == ("x",)
+
+    def test_filters_attach_to_last_node(self):
+        logical = sample_chain().logical_plan()
+        assert not logical.source.filters
+        assert len(logical.joins[0].filters) == 1
+
+    def test_structures_in_order(self):
+        logical = sample_chain().logical_plan()
+        assert logical.structures() == ["idx_attr", "parent", "child"]
+
+    def test_describe_mentions_every_node(self):
+        text = sample_chain().logical_plan().describe()
+        assert "source" in text and "join child" in text
+
+
+class TestEagerValidation:
+    """The builder rejects malformed chains at the offending call."""
+
+    def test_filter_before_source(self):
+        with pytest.raises(JobDefinitionError,
+                           match="call a from_\\* source before filters"):
+            ChainQuery("q").filter_equals("a", 1)
+
+    def test_context_key_never_carried(self):
+        chain = (ChainQuery("q")
+                 .from_pointers("t", [1])
+                 .join("u", key="fk", carry=["kept"]))
+        with pytest.raises(JobDefinitionError,
+                           match="never carried .*carried so far: kept"):
+            chain.join("v", context_key="dropped")
+
+    def test_context_key_with_empty_context(self):
+        chain = ChainQuery("q").from_pointers("t", [1])
+        with pytest.raises(JobDefinitionError,
+                           match="carried so far: nothing"):
+            chain.join("v", context_key="anything")
+
+    def test_duplicate_carry_names(self):
+        chain = ChainQuery("q").from_pointers("t", [1])
+        with pytest.raises(JobDefinitionError,
+                           match="duplicate carry name\\(s\\) in join to "
+                                 "'u': pk"):
+            chain.join("u", key="fk", carry=["pk", "attr", "pk"])
+
+    def test_join_needs_exactly_one_key(self):
+        chain = ChainQuery("q").from_pointers("t", [1])
+        with pytest.raises(JobDefinitionError, match="exactly one of"):
+            chain.join("u")
+        with pytest.raises(JobDefinitionError, match="exactly one of"):
+            chain.join("u", key="a", context_key="b")
+
+    def test_second_source_rejected(self):
+        chain = ChainQuery("q").from_pointers("t", [1])
+        with pytest.raises(JobDefinitionError, match="only one source"):
+            chain.from_index_range("idx", 0, 1)
+
+
+class TestPhysicalPlan:
+    def test_compile_default_is_pure_index(self, catalog):
+        logical = sample_chain().logical_plan()
+        physical = compile_logical(logical, catalog)
+        assert physical.is_pure_index
+        assert physical.access_paths == (ACCESS_INDEX, ACCESS_INDEX)
+
+    def test_compile_routing_from_catalog_scope(self, catalog):
+        logical = (ChainQuery("q", interpreter=INTERP)
+                   .from_index_range("idx_attr", 0, 2, base="parent")
+                   .join("child", key="pk", via_index="idx_child_fk")
+                   .logical_plan())
+        physical = compile_logical(logical, catalog)
+        # idx_child_fk is a global index -> partitioned probes.
+        assert physical.stages[1].routing == "partitioned"
+
+    def test_compile_with_scan_paths(self, catalog):
+        logical = sample_chain().logical_plan()
+        physical = compile_logical(logical, catalog,
+                                   [ACCESS_INDEX, ACCESS_SCAN])
+        assert physical.access_paths == (ACCESS_INDEX, ACCESS_SCAN)
+        assert physical.stages[1].routing == "replicated"
+        assert not physical.is_pure_index
+
+    def test_stage_rejects_unknown_path_and_routing(self):
+        node = LogicalPlan("q").add_source("pointers", "t", keys=(1,))
+        with pytest.raises(JobDefinitionError, match="unknown access path"):
+            PhysicalStage(node, "teleport", "partitioned")
+        with pytest.raises(JobDefinitionError, match="unknown routing"):
+            PhysicalStage(node, ACCESS_INDEX, "sideways")
+
+    def test_broadcast_join_cannot_be_scan_backed(self):
+        logical = (ChainQuery("q")
+                   .from_pointers("t", [1])
+                   .join("u", key="fk", broadcast=True)
+                   .logical_plan())
+        with pytest.raises(JobDefinitionError, match="broadcast join"):
+            compile_logical(logical, None, [ACCESS_INDEX, ACCESS_SCAN])
+
+    def test_plan_needs_source_first(self):
+        logical = (ChainQuery("q").from_pointers("t", [1])
+                   .join("u", key="fk").logical_plan())
+        join_stage = PhysicalStage(logical.joins[0], ACCESS_INDEX,
+                                   "partitioned")
+        with pytest.raises(JobDefinitionError, match="source node"):
+            PhysicalPlan("q", INTERP, [join_stage])
+
+
+class TestLowering:
+    def test_all_index_lowering_matches_legacy_shape(self, catalog):
+        job = (ChainQuery("q", interpreter=INTERP)
+               .from_index_range("idx_attr", 0, 2, base="parent")
+               .join("child", key="pk", via_index="idx_child_fk")
+               .build())
+        kinds = [type(f) for f in job.functions]
+        assert kinds == [IndexRangeDereferencer, IndexEntryReferencer,
+                         FileLookupDereferencer, KeyReferencer,
+                         IndexLookupDereferencer, IndexEntryReferencer,
+                         FileLookupDereferencer]
+        assert isinstance(job.inputs[0], PointerRange)
+
+    def test_scan_backed_join_lowers_to_scan_dereferencer(self, catalog):
+        logical = sample_chain().logical_plan()
+        physical = compile_logical(logical, catalog,
+                                   [ACCESS_INDEX, ACCESS_SCAN])
+        job = physical.to_job(catalog)
+        assert isinstance(job.functions[-1], ScanLookupDereferencer)
+        assert job.functions[-1].file_name == "child"
+        # The filter still attaches to the scan-backed dereferencer.
+        assert job.functions[-1].filter is not None
+
+    def test_scan_backed_via_index_join_skips_the_index(self, catalog):
+        logical = (ChainQuery("q", interpreter=INTERP)
+                   .from_index_range("idx_attr", 0, 2, base="parent")
+                   .join("child", key="pk", via_index="idx_child_fk")
+                   .logical_plan())
+        physical = compile_logical(logical, catalog,
+                                   [ACCESS_INDEX, ACCESS_SCAN])
+        job = physical.to_job(catalog)
+        # index form is 7 functions; scan form replaces the 4-function
+        # via-index hop with KeyReferencer + ScanLookupDereferencer.
+        assert job.num_stages == 5
+        assert isinstance(job.functions[-1], ScanLookupDereferencer)
+
+    def test_scan_lowering_needs_catalog(self, catalog):
+        logical = sample_chain().logical_plan()
+        physical = compile_logical(logical, catalog,
+                                   [ACCESS_INDEX, ACCESS_SCAN])
+        with pytest.raises(JobDefinitionError, match="catalog"):
+            physical.to_job(None)
+
+
+class TestScanLookupDereferencer:
+    def make(self, catalog):
+        loader = catalog.dfs.loader_info("child")
+        return ScanLookupDereferencer(
+            "child", lambda record: [loader.key_fn(record)])
+
+    def test_table_groups_by_key(self, catalog):
+        deref = self.make(catalog)
+        file = catalog.resolve("child")
+        table = deref.table_for(file)
+        assert sum(len(v) for v in table.values()) == 60
+
+    def test_fetch_by_key(self, catalog):
+        deref = self.make(catalog)
+        file = catalog.resolve("child")
+        records = deref.fetch(file, Pointer("child", 7, 7), 0)
+        assert all(r["pk"] == 7 for r in records)
+
+    def test_fetch_rejects_ranges_and_broadcast(self, catalog):
+        deref = self.make(catalog)
+        file = catalog.resolve("child")
+        with pytest.raises(ExecutionError, match="pointer range"):
+            deref.fetch(file, PointerRange("child", 0, 9), 0)
+        with pytest.raises(ExecutionError, match="broadcast"):
+            deref.fetch(file, Pointer("child", None, 7), 0)
+
+    def test_rejects_non_partitioned_files(self, catalog):
+        deref = self.make(catalog)
+        index = catalog.resolve("idx_attr")
+        with pytest.raises(JobDefinitionError, match="base file"):
+            deref.table_for(index)
+
+
+class TestToScanPlan:
+    def test_scan_plan_shape(self, catalog):
+        logical = sample_chain().logical_plan()
+        plan = to_scan_plan(logical, catalog)
+        assert isinstance(plan, HashJoinNode)
+        assert isinstance(plan.build, ScanNode)
+        assert plan.build.table == "parent"
+        assert plan.probe.table == "child"
+
+    def test_source_predicate_applies_key_range(self, catalog):
+        logical = sample_chain().logical_plan()
+        plan = to_scan_plan(logical, catalog)
+        matching = [r for r in [{"pk": 1, "attr": 1}, {"pk": 2, "attr": 3}]
+                    if plan.build.predicate(r)]
+        assert matching == [{"pk": 1, "attr": 1}]
+
+    def test_pointers_source_has_no_scan_equivalent(self, catalog):
+        logical = (ChainQuery("q").from_pointers("parent", [1])
+                   .logical_plan())
+        with pytest.raises(JobDefinitionError):
+            to_scan_plan(logical, catalog)
+
+    def test_opaque_filter_has_no_scan_equivalent(self, catalog):
+        logical = (sample_chain()
+                   .filter_fn(lambda record, context: True)
+                   .logical_plan())
+        with pytest.raises(JobDefinitionError, match="no scan equivalent"):
+            to_scan_plan(logical, catalog)

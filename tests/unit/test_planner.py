@@ -1,0 +1,213 @@
+"""Unit tests for the per-stage planner and the cache-aware cost model."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, NodeSpec
+from repro.engine import CostModel, HybridExecutor, PlanningExecutor
+from repro.errors import ExecutionError, JobDefinitionError
+from repro.plan import ACCESS_INDEX, ACCESS_SCAN, LogicalPlan, StagePlanner
+from repro.plan.planner import expected_cache_hit_rate, working_set_bytes
+from repro.queries import TpchWorkload, canonical_q5_rows_rede
+
+SELECTIVITY = 0.2
+REGION = "ASIA"
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return TpchWorkload(scale_factor=0.001, seed=3, num_nodes=4,
+                        block_size=64 * 1024)
+
+
+@pytest.fixture(scope="module")
+def spec(workload):
+    return workload.make_cluster(scan_seconds=0.25).spec
+
+
+@pytest.fixture(scope="module")
+def logical(workload):
+    low, high = workload.date_range(SELECTIVITY)
+    return workload.q5_chain(low, high, REGION).logical_plan()
+
+
+def make_planner(workload, spec, **kwargs):
+    return StagePlanner(workload.catalog, workload.blockstore, spec,
+                        **kwargs)
+
+
+class TestStagePlanner:
+    def test_one_estimate_per_logical_node(self, workload, spec, logical):
+        planned = make_planner(workload, spec).plan(logical)
+        assert len(planned.stage_estimates) == len(logical.nodes)
+        assert len(planned.mixed.stages) == len(logical.nodes)
+
+    def test_every_estimate_prices_the_index_path(self, workload, spec,
+                                                  logical):
+        planned = make_planner(workload, spec).plan(logical)
+        for estimate in planned.stage_estimates:
+            assert estimate.index_seconds > 0
+            assert estimate.access_path in (ACCESS_INDEX, ACCESS_SCAN)
+            if estimate.access_path == ACCESS_SCAN:
+                assert estimate.scan_seconds is not None
+                assert estimate.scan_seconds < estimate.index_seconds
+
+    def test_q5_mixed_plan_keeps_lineitem_indexed(self, workload, spec,
+                                                  logical):
+        """The interesting shape: small dimensions scan, lineitem — the
+        dominant table — stays on its structure."""
+        planned = make_planner(workload, spec).plan(logical)
+        paths = dict(zip((n.fetches for n in logical.nodes),
+                         planned.mixed.access_paths))
+        assert paths["lineitem"] == ACCESS_INDEX
+        assert ACCESS_SCAN in planned.mixed.access_paths
+
+    def test_mixed_estimate_is_stage_sum(self, workload, spec, logical):
+        planned = make_planner(workload, spec).plan(logical)
+        total = sum(
+            (e.scan_seconds if e.access_path == ACCESS_SCAN
+             else e.index_seconds)
+            for e in planned.stage_estimates)
+        assert planned.mixed_estimate == pytest.approx(total)
+
+    def test_cardinality_annotations_propagate(self, workload, spec,
+                                               logical):
+        planned = make_planner(workload, spec).plan(logical)
+        assert logical.source.estimated_rows is not None
+        for stage, estimate in zip(planned.mixed.stages,
+                                   planned.stage_estimates):
+            assert stage.estimated_rows == estimate.rows_out
+
+    def test_margin_one_never_picks_mixed(self, workload, spec, logical):
+        """margin=0 demands an infinite improvement, so the planner always
+        falls back to exactly the old hybrid's degenerate choice."""
+        planned = make_planner(workload, spec, margin=0.0).plan(logical)
+        assert planned.chosen in ("index", "scan")
+        expected = ("index" if planned.scan_estimate is None
+                    or planned.index_estimate <= planned.scan_estimate
+                    else "scan")
+        assert planned.chosen == expected
+
+    def test_envelope_choice_matches_old_hybrid(self, workload, spec,
+                                                logical):
+        """Degenerate estimates equal the old optimizer's estimates, so
+        the fallback decision is the old decision."""
+        low, high = workload.date_range(SELECTIVITY)
+        hybrid = HybridExecutor(workload.catalog, workload.blockstore,
+                                spec)
+        choice = hybrid.plan(workload.q5_job(low, high, REGION),
+                             workload.q5_scan_plan(low, high, REGION))
+        planned = make_planner(workload, spec).plan(logical)
+        assert planned.index_estimate == pytest.approx(
+            choice.rede_estimate)
+        assert planned.scan_estimate == pytest.approx(choice.scan_estimate)
+
+    def test_empty_chain_rejected(self, workload, spec):
+        with pytest.raises(JobDefinitionError, match="empty chain"):
+            make_planner(workload, spec).plan(LogicalPlan("empty"))
+
+    def test_describe_renders_decision_table(self, workload, spec,
+                                             logical):
+        text = make_planner(workload, spec).plan(logical).describe()
+        assert "chosen=" in text
+        assert "source:idx_orders_orderdate" in text
+        assert "join:lineitem" in text
+
+
+class TestDeterminism:
+    """Identical inputs produce identical plans, traces, and metrics."""
+
+    def test_planning_is_deterministic(self, workload, spec, logical):
+        first = make_planner(workload, spec).plan(logical)
+        second = make_planner(workload, spec).plan(logical)
+        assert first.mixed.access_paths == second.mixed.access_paths
+        assert first.chosen == second.chosen
+        assert first.mixed_estimate == second.mixed_estimate
+        assert first.index_estimate == second.index_estimate
+        assert first.scan_estimate == second.scan_estimate
+        assert first.stage_estimates == second.stage_estimates
+        assert first.describe() == second.describe()
+        assert first.mixed.describe() == second.mixed.describe()
+
+    def test_execution_is_deterministic(self, workload, spec, logical):
+        def run():
+            executor = PlanningExecutor(workload.catalog,
+                                        workload.blockstore, spec)
+            return executor.execute(logical, force="mixed")
+
+        first, second = run(), run()
+        assert (canonical_q5_rows_rede(first)
+                == canonical_q5_rows_rede(second))
+        assert first.elapsed_seconds == second.elapsed_seconds
+        assert first.record_accesses == second.record_accesses
+
+
+class TestPlanningExecutor:
+    def test_calibrate_sets_factor(self, workload, spec, logical):
+        executor = PlanningExecutor(workload.catalog, workload.blockstore,
+                                    spec)
+        factor = executor.calibrate(logical)
+        assert factor > 0
+        assert executor.per_match_access_factor == factor
+
+    def test_force_validation(self, workload, spec, logical):
+        executor = PlanningExecutor(workload.catalog, workload.blockstore,
+                                    spec)
+        with pytest.raises(ExecutionError, match="mixed|index|scan"):
+            executor.execute(logical, force="teleport")
+
+    def test_scan_unavailable_raises(self, workload, spec):
+        executor = PlanningExecutor(workload.catalog, workload.blockstore,
+                                    spec)
+        from repro.core import ChainQuery
+
+        logical = (ChainQuery("ptr").from_pointers("orders", [1])
+                   .logical_plan())
+        with pytest.raises(JobDefinitionError, match="scan-engine"):
+            executor.execute(logical, force="scan")
+
+
+class TestCacheAwareCostModel:
+    """Satellite: cache_bytes > 0 discounts repeated index-probe IO."""
+
+    def make_spec(self, base_spec, cache_bytes):
+        return ClusterSpec(
+            num_nodes=base_spec.num_nodes,
+            node=NodeSpec(cores=base_spec.node.cores,
+                          tuple_cpu_time=base_spec.node.tuple_cpu_time,
+                          disk=base_spec.node.disk,
+                          cache_bytes=cache_bytes),
+            network=base_spec.network)
+
+    def test_estimate_drops_with_cache(self, workload, spec):
+        low, high = workload.date_range(SELECTIVITY)
+        job = workload.q5_job(low, high, REGION)
+        cold = CostModel(spec)
+        warm = CostModel(self.make_spec(spec, 64 * 1024 * 1024))
+        cold_estimate = cold.estimate_rede_seconds(workload.catalog, job)
+        warm_estimate = warm.estimate_rede_seconds(workload.catalog, job)
+        assert warm_estimate < cold_estimate
+
+    def test_discount_scales_with_pool_size(self, workload, spec):
+        low, high = workload.date_range(SELECTIVITY)
+        job = workload.q5_job(low, high, REGION)
+        working = working_set_bytes(workload.catalog, job)
+        small = CostModel(self.make_spec(spec, working // 40))
+        big = CostModel(self.make_spec(spec, working))
+        assert (big.estimate_rede_seconds(workload.catalog, job)
+                < small.estimate_rede_seconds(workload.catalog, job))
+
+    def test_hit_rate_clamps_to_one(self, spec):
+        huge = self.make_spec(spec, 10 ** 12)
+        assert expected_cache_hit_rate(huge, 1024.0) == 1.0
+        assert expected_cache_hit_rate(spec, 1024.0) == 0.0
+
+    def test_zero_cache_matches_classic_formula(self, workload, spec):
+        """cache_bytes == 0 keeps the pre-plan arithmetic bit-identical."""
+        low, high = workload.date_range(SELECTIVITY)
+        job = workload.q5_job(low, high, REGION)
+        from repro.plan.planner import estimate_indexed_job_seconds
+
+        model = CostModel(spec)
+        assert (model.estimate_rede_seconds(workload.catalog, job)
+                == estimate_indexed_job_seconds(spec, workload.catalog,
+                                                job))
