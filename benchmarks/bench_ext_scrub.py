@@ -1,0 +1,218 @@
+"""Extension: structure integrity — scrub overhead vs detection latency.
+
+Silent index corruption is the failure mode PR 1's chaos harness could not
+model: nothing crashes, the probe just reads a bad page.  Two experiments
+quantify what living with it costs:
+
+* **Scrub sampling sweep** — one corrupted catalog is scrubbed at
+  decreasing page-sampling densities (``sample_every`` = 1, 2, 4, 8).  A
+  full scrub reads every page and finds every corrupt one; sparser
+  sampling pays proportionally less simulated IO but misses corrupt pages
+  — the classic scrub-overhead vs detection-latency trade.
+
+* **Fig7-shaped corruption run** — Q5′ under ``PageCorruption`` on every
+  index structure, both cluster engines.  A corrupt probe quarantines the
+  structure and the stage is re-served from a scan-built recovery table:
+  the answer must be *identical* to the fault-free run, with the price
+  showing up as runtime overhead.  The scrub worker then repairs the lake
+  and a final run must probe clean (zero detections) at fault-free speed.
+
+Everything is seeded; the whole matrix replays byte-for-byte.
+
+Run::
+
+    pytest benchmarks/bench_ext_scrub.py --benchmark-only
+
+``REPRO_BENCH_QUICK=1`` shrinks the sweep for CI smoke runs (results are
+not overwritten in quick mode).
+"""
+
+import os
+
+from repro.bench import SweepTable, format_factor, format_seconds
+from repro.cluster import Cluster, ClusterSpec, FaultPlan, PageCorruption
+from repro.core import AccessMethodDefinition, Record, StructureCatalog
+from repro.core.maintenance import MaintenanceWorker
+from repro.core.scrub import ScrubWorker
+from repro.engine import ReDeExecutor
+from repro.queries import TpchWorkload, canonical_q5_rows_rede
+from repro.storage import DistributedFileSystem
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+SEED = 23
+
+# -- experiment 1: scrub sampling sweep ------------------------------------
+
+SCRUB_NODES = 4
+SCRUB_PARTITIONS = 8
+SCRUB_RECORDS = 1500 if QUICK else 6000
+CORRUPTION_RATE = 0.15
+SAMPLE_EVERY = (1, 4) if QUICK else (1, 2, 4, 8)
+
+
+def corrupted_catalog():
+    """A built single-index lake with a seeded corrupt-page set."""
+    dfs = DistributedFileSystem(num_nodes=SCRUB_NODES,
+                                default_partitions=SCRUB_PARTITIONS)
+    catalog = StructureCatalog(dfs)
+    catalog.register_file(
+        "events",
+        [Record({"pk": i, "pad": "x" * 80}) for i in range(SCRUB_RECORDS)],
+        lambda r: r["pk"], num_partitions=SCRUB_PARTITIONS)
+    catalog.register_access_method(AccessMethodDefinition(
+        name="idx_events_pk", base_file="events",
+        key_fn=lambda r: r["pk"], scope="global"))
+    cluster = Cluster(ClusterSpec(num_nodes=SCRUB_NODES),
+                      fault_plan=FaultPlan(seed=SEED, page_corruptions=(
+                          PageCorruption("idx_events_pk",
+                                         CORRUPTION_RATE),)))
+    MaintenanceWorker(catalog, cluster).run_pending()
+    return catalog, cluster
+
+
+def run_sampling_sweep():
+    rows = {}
+    # The full scrub's finding count is the ground truth all sparser
+    # samplings are measured against.
+    for sample_every in SAMPLE_EVERY:
+        catalog, cluster = corrupted_catalog()
+        report = ScrubWorker(catalog, cluster,
+                             sample_every=sample_every).run_once(
+                                 repair=False)
+        rows[sample_every] = {
+            "pages": report.pages_checked,
+            "found": len(report.findings),
+            "scrub_seconds": report.scrub_seconds,
+            "demoted": list(report.demoted),
+        }
+    return rows
+
+
+# -- experiment 2: fig7-shaped Q5' under corruption ------------------------
+
+SCALE_FACTOR = 0.001 if QUICK else 0.002
+NUM_NODES = 4
+SELECTIVITY = 0.2
+Q5_CORRUPTION = 0.3
+ENGINE_MODES = ("smpe", "partitioned")
+
+
+def fresh_workload():
+    return TpchWorkload(scale_factor=SCALE_FACTOR, seed=1,
+                        num_nodes=NUM_NODES, block_size=256 * 1024)
+
+
+def corruption_plan(workload):
+    return FaultPlan(seed=SEED, page_corruptions=tuple(
+        PageCorruption(name, Q5_CORRUPTION)
+        for name in workload.catalog.access_methods()))
+
+
+def run_q5_matrix():
+    rows = {}
+    for mode in ENGINE_MODES:
+        workload = fresh_workload()
+        low, high = workload.date_range(SELECTIVITY)
+        job = workload.q5_job(low, high)
+        clean = ReDeExecutor(workload.make_cluster(), workload.catalog,
+                             mode=mode).execute(job)
+
+        cluster = workload.make_cluster()
+        cluster.inject_faults(corruption_plan(workload))
+        corrupted = ReDeExecutor(cluster, workload.catalog,
+                                 mode=mode).execute(job)
+
+        scrub = ScrubWorker(workload.catalog, cluster).run_once()
+
+        healed = ReDeExecutor(cluster, workload.catalog,
+                              mode=mode).execute(job)
+        rows[mode] = {
+            "clean_seconds": clean.metrics.elapsed_seconds,
+            "corrupt_seconds": corrupted.metrics.elapsed_seconds,
+            "healed_seconds": healed.metrics.elapsed_seconds,
+            "identical": (canonical_q5_rows_rede(corrupted)
+                          == canonical_q5_rows_rede(clean)),
+            "healed_identical": (canonical_q5_rows_rede(healed)
+                                 == canonical_q5_rows_rede(clean)),
+            "complete": corrupted.complete,
+            "detected": corrupted.metrics.corruptions_detected,
+            "quarantines": corrupted.metrics.quarantines,
+            "fallbacks": corrupted.metrics.corruption_fallbacks,
+            "repaired": len(scrub.repaired),
+            "healed_detected": healed.metrics.corruptions_detected,
+        }
+    return rows
+
+
+def test_ext_scrub(benchmark, show, save_result):
+    sampling_rows, q5_rows = benchmark.pedantic(
+        lambda: (run_sampling_sweep(), run_q5_matrix()),
+        iterations=1, rounds=1)
+
+    full = sampling_rows[SAMPLE_EVERY[0]]
+    table = SweepTable(
+        title=f"Extension: scrub sampling sweep ({SCRUB_RECORDS} records, "
+              f"corruption rate {CORRUPTION_RATE}, seed {SEED})",
+        columns=["sample every", "pages read", "scrub IO", "vs full",
+                 "corrupt pages found", "coverage"])
+    for sample_every, row in sampling_rows.items():
+        table.add_row(
+            sample_every,
+            row["pages"],
+            format_seconds(row["scrub_seconds"]),
+            format_factor(row["scrub_seconds"] / full["scrub_seconds"]),
+            f"{row['found']}/{full['found']}",
+            f"{row['found'] / full['found']:.0%}" if full["found"] else "-")
+    table.add_note("sampling divides the scrub's IO bill but leaves "
+                   "corrupt pages to be caught by a later pass (or by a "
+                   "query's checksum probe): overhead vs detection latency")
+    show(table)
+    if not QUICK:
+        save_result("ext_scrub", table)
+
+    q5_table = SweepTable(
+        title=f"Extension: Q5' under page corruption {Q5_CORRUPTION:g} "
+              f"(SF={SCALE_FACTOR:g}, {NUM_NODES} nodes, seed {SEED})",
+        columns=["engine", "fault-free", "corrupted", "overhead",
+                 "detected/quar/fallback", "after repair"])
+    for mode, row in q5_rows.items():
+        q5_table.add_row(
+            mode,
+            format_seconds(row["clean_seconds"]),
+            format_seconds(row["corrupt_seconds"]),
+            format_factor(row["corrupt_seconds"] / row["clean_seconds"]),
+            f"{row['detected']}/{row['quarantines']}/{row['fallbacks']}",
+            format_seconds(row["healed_seconds"]))
+    q5_table.add_note("corrupt probes quarantine the structure and the "
+                      "stage is re-served by scan — answers identical to "
+                      "the fault-free run; after scrub+repair the re-run "
+                      "probes clean")
+    show(q5_table)
+    if not QUICK:
+        save_result("ext_scrub_q5", q5_table)
+
+    # Full scrub finds corruption; sparser sampling reads fewer pages for
+    # less IO and never finds more than the full pass.
+    assert full["found"] > 0
+    assert full["demoted"] == ["idx_events_pk"]
+    pages = [sampling_rows[s]["pages"] for s in SAMPLE_EVERY]
+    assert pages == sorted(pages, reverse=True)
+    ios = [sampling_rows[s]["scrub_seconds"] for s in SAMPLE_EVERY]
+    assert ios == sorted(ios, reverse=True)
+    assert all(row["found"] <= full["found"]
+               for row in sampling_rows.values())
+
+    # Quarantine + scan fallback keeps every answer exact, and the scrub
+    # worker heals the lake: the final run probes clean.
+    for row in q5_rows.values():
+        assert row["identical"] and row["complete"]
+        assert row["detected"] > 0 and row["quarantines"] > 0
+        assert row["fallbacks"] >= row["quarantines"]
+        assert row["repaired"] > 0
+        assert row["healed_identical"]
+        assert row["healed_detected"] == 0
+
+    # Determinism: the corrupted Q5' replays byte-for-byte.
+    again = run_q5_matrix()
+    assert again == q5_rows

@@ -96,6 +96,27 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--crash-at", type=float, default=0.01,
                        help="crash time in simulated seconds "
                             "(default 0.01)")
+    chaos.add_argument("--corruption", type=float, default=0.0,
+                       help="per-page silent-corruption probability "
+                            "applied to every index structure (default 0;"
+                            " corrupt probes quarantine the structure and"
+                            " re-serve the stage by scan)")
+
+    scrub = commands.add_parser(
+        "scrub",
+        help="corrupt index pages, then detect/repair them with the "
+             "online scrub worker")
+    scrub.add_argument("--scale", type=float, default=0.002,
+                       help="TPC-H scale factor (default 0.002)")
+    scrub.add_argument("--nodes", type=int, default=4)
+    scrub.add_argument("--seed", type=int, default=7,
+                       help="fault-plan seed (default 7)")
+    scrub.add_argument("--corruption", type=float, default=0.1,
+                       help="per-page corruption probability for every "
+                            "index structure (default 0.1)")
+    scrub.add_argument("--sample-every", type=int, default=1,
+                       help="scrub every Nth page per partition "
+                            "(default 1 = full scrub)")
     return parser
 
 
@@ -209,10 +230,11 @@ def cmd_fig9(num_claims: int) -> int:
 
 def cmd_chaos(scale: float, nodes: int, seed: int, rate: float,
               drop_rate: float, policy: str, max_retries: int,
-              crash_node: Optional[int], crash_at: float) -> int:
+              crash_node: Optional[int], crash_at: float,
+              corruption: float = 0.0) -> int:
     """A small fault-injected Q5′: chaos run vs fault-free run, plus the
     structured FailureReport of everything the chaos run lost."""
-    from repro.cluster import FaultPlan, NodeCrash
+    from repro.cluster import FaultPlan, NodeCrash, PageCorruption
     from repro.config import EngineConfig
 
     workload = TpchWorkload(scale_factor=scale, seed=1, num_nodes=nodes,
@@ -225,8 +247,12 @@ def cmd_chaos(scale: float, nodes: int, seed: int, rate: float,
 
     crashes = ((NodeCrash(crash_node, crash_at),)
                if crash_node is not None else ())
+    corruptions = (tuple(PageCorruption(name, corruption)
+                         for name in workload.catalog.access_methods())
+                   if corruption > 0.0 else ())
     plan = FaultPlan(seed=seed, transient_io_rate=rate,
-                     network_drop_rate=drop_rate, node_crashes=crashes)
+                     network_drop_rate=drop_rate, node_crashes=crashes,
+                     page_corruptions=corruptions)
     cluster = workload.make_cluster()
     cluster.inject_faults(plan)
     config = EngineConfig(on_error=policy, max_retries=max_retries)
@@ -237,6 +263,7 @@ def cmd_chaos(scale: float, nodes: int, seed: int, rate: float,
     print(f"Q5' under chaos (seed={seed}, io-rate={rate}, "
           f"drop-rate={drop_rate}, policy={policy}"
           + (f", crash node {crash_node}@{crash_at}s" if crashes else "")
+          + (f", page-corruption {corruption:g}" if corruptions else "")
           + ")")
     print(f"  fault-free: {len(clean.rows)} rows in "
           f"{clean.metrics.elapsed_seconds * 1e3:.1f} simulated ms")
@@ -246,12 +273,71 @@ def cmd_chaos(scale: float, nodes: int, seed: int, rate: float,
           f"{summary.timeouts} timeouts, {summary.node_crashes} crashes; "
           f"{summary.retries} retries, {summary.reroutes} reroutes, "
           f"{summary.tasks_skipped} units skipped")
+    if corruptions:
+        print(f"  corruption: {summary.corruptions_detected} corrupt "
+              f"probes detected, {summary.quarantines} structures "
+              f"quarantined, {summary.corruption_fallbacks} probes "
+              "re-served by scan")
     if canonical_q5_rows_rede(chaotic) == canonical_q5_rows_rede(clean):
         print("  result: identical to the fault-free answer")
     else:
         print("  result: PARTIAL — see the failure report")
     print(chaotic.failure_report.render())
     return 0
+
+
+def cmd_scrub(scale: float, nodes: int, seed: int, corruption: float,
+              sample_every: int) -> int:
+    """Corrupt index pages, query through the quarantine fallback, then
+    let the scrub worker detect and repair everything."""
+    from repro.cluster import FaultPlan, PageCorruption
+    from repro.core.scrub import ScrubWorker
+
+    workload = TpchWorkload(scale_factor=scale, seed=1, num_nodes=nodes,
+                            block_size=256 * 1024)
+    low, high = workload.date_range(0.2)
+    job = workload.q5_job(low, high)
+
+    clean = ReDeExecutor(workload.make_cluster(), workload.catalog,
+                         mode="smpe").execute(job)
+
+    structures = workload.catalog.access_methods()
+    plan = FaultPlan(seed=seed, page_corruptions=tuple(
+        PageCorruption(name, corruption) for name in structures))
+    cluster = workload.make_cluster()
+    cluster.inject_faults(plan)
+    corrupted = ReDeExecutor(cluster, workload.catalog,
+                             mode="smpe").execute(job)
+
+    print(f"Q5' with page corruption {corruption:g} on "
+          f"{len(structures)} structures (seed={seed})")
+    print(f"  fault-free: {len(clean.rows)} rows in "
+          f"{clean.metrics.elapsed_seconds * 1e3:.1f} simulated ms")
+    summary = corrupted.metrics
+    print(f"  corrupted:  {len(corrupted.rows)} rows in "
+          f"{summary.elapsed_seconds * 1e3:.1f} simulated ms "
+          f"({summary.corruptions_detected} corrupt probes, "
+          f"{summary.quarantines} quarantines, "
+          f"{summary.corruption_fallbacks} scan fallbacks)")
+    identical = (canonical_q5_rows_rede(corrupted)
+                 == canonical_q5_rows_rede(clean))
+    print("  result: " + ("identical to the fault-free answer" if identical
+                          else "MISMATCH (bug!)"))
+
+    report = ScrubWorker(workload.catalog, cluster,
+                         sample_every=sample_every).run_once()
+    print(report.render())
+
+    after = ReDeExecutor(cluster, workload.catalog,
+                         mode="smpe").execute(job)
+    healed = (canonical_q5_rows_rede(after)
+              == canonical_q5_rows_rede(clean)
+              and after.metrics.corruptions_detected == 0)
+    print("  after repair: " + (
+        f"{len(after.rows)} rows, 0 corrupt probes — clean" if healed
+        else f"{after.metrics.corruptions_detected} corrupt probes "
+             "remain (raise --sample-every coverage)"))
+    return 0 if identical else 1
 
 
 def cmd_plan(scale: float, nodes: int, selectivity: float,
@@ -306,5 +392,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "chaos":
         return cmd_chaos(args.scale, args.nodes, args.seed, args.rate,
                          args.drop_rate, args.policy, args.max_retries,
-                         args.crash_node, args.crash_at)
+                         args.crash_node, args.crash_at, args.corruption)
+    if args.command == "scrub":
+        return cmd_scrub(args.scale, args.nodes, args.seed,
+                         args.corruption, args.sample_every)
     return 2  # pragma: no cover - argparse enforces the choices

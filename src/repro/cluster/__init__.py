@@ -6,6 +6,7 @@ from repro.cluster.faults import (
     FaultInjector,
     FaultPlan,
     NodeCrash,
+    PageCorruption,
     SlowDisk,
 )
 from repro.cluster.network import Network, NetworkSpec
@@ -29,6 +30,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "NodeCrash",
+    "PageCorruption",
     "SlowDisk",
     "Network",
     "NetworkSpec",

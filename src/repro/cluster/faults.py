@@ -27,20 +27,24 @@ The injector only *raises* faults; surviving them is the engines' job (see
 from __future__ import annotations
 
 import random
+import zlib
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import SimulationError
+from repro.storage.cache import PageId
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.cluster import Cluster
 
-__all__ = ["SlowDisk", "NodeCrash", "FaultPlan", "FaultInjector"]
+__all__ = ["SlowDisk", "NodeCrash", "PageCorruption", "FaultPlan",
+           "FaultInjector"]
 
 #: channel tags for decorrelated per-node RNG streams
 _IO_CHANNEL = 1
 _NET_CHANNEL = 2
+_CORRUPTION_CHANNEL = 3
 
 
 def _stream(seed: int, node_id: int, channel: int) -> random.Random:
@@ -88,6 +92,30 @@ class NodeCrash:
 
 
 @dataclass(frozen=True)
+class PageCorruption:
+    """Silent data corruption: a fraction of one structure's pages is bad.
+
+    Each page of ``file`` independently has probability ``rate`` of being
+    corrupt — decided once per page by a seeded draw, so the corrupt set
+    is fixed for the run and every read of a corrupt page fails its
+    checksum the same way (bit rot, not a flaky transfer).  ``node``
+    restricts the corruption to pages homed on one node (a single sick
+    disk array); ``None`` means any node's share can be affected.
+    """
+
+    file: str
+    rate: float
+    node: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.file:
+            raise SimulationError("page corruption needs a file name")
+        if not 0.0 <= self.rate <= 1.0:
+            raise SimulationError(
+                f"corruption rate must be in [0, 1], got {self.rate}")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Everything that will go wrong in one simulated run, seeded.
 
@@ -100,6 +128,8 @@ class FaultPlan:
             in transit (fails after paying its transmission time).
         slow_disks: straggler degradations (see :class:`SlowDisk`).
         node_crashes: permanent node failures (see :class:`NodeCrash`).
+        page_corruptions: silent per-page structure corruption (see
+            :class:`PageCorruption`).
     """
 
     seed: int = 0
@@ -107,6 +137,7 @@ class FaultPlan:
     network_drop_rate: float = 0.0
     slow_disks: tuple[SlowDisk, ...] = ()
     node_crashes: tuple[NodeCrash, ...] = ()
+    page_corruptions: tuple[PageCorruption, ...] = ()
 
     def __post_init__(self) -> None:
         for name in ("transient_io_rate", "network_drop_rate"):
@@ -117,6 +148,8 @@ class FaultPlan:
         # Accept lists for convenience; store canonical tuples.
         object.__setattr__(self, "slow_disks", tuple(self.slow_disks))
         object.__setattr__(self, "node_crashes", tuple(self.node_crashes))
+        object.__setattr__(self, "page_corruptions",
+                           tuple(self.page_corruptions))
         crashed = [c.node for c in self.node_crashes]
         if len(crashed) != len(set(crashed)):
             raise SimulationError("a node cannot crash twice")
@@ -126,7 +159,8 @@ class FaultPlan:
         """True when the plan injects nothing at all."""
         return (self.transient_io_rate == 0.0
                 and self.network_drop_rate == 0.0
-                and not self.slow_disks and not self.node_crashes)
+                and not self.slow_disks and not self.node_crashes
+                and not any(c.rate > 0.0 for c in self.page_corruptions))
 
 
 class FaultInjector:
@@ -154,6 +188,10 @@ class FaultInjector:
                 raise SimulationError(f"crash of unknown node {crash.node}")
         if len({c.node for c in plan.node_crashes}) >= num_nodes:
             raise SimulationError("a fault plan cannot crash every node")
+        for spec in plan.page_corruptions:
+            if spec.node is not None and not 0 <= spec.node < num_nodes:
+                raise SimulationError(
+                    f"page corruption on unknown node {spec.node}")
         self.cluster = cluster
         self.plan = plan
         self.sim = cluster.sim
@@ -162,6 +200,8 @@ class FaultInjector:
         self._net_rngs = [_stream(plan.seed, n, _NET_CHANNEL)
                           for n in range(num_nodes)]
         self._slow = {s.node: s for s in plan.slow_disks}
+        self._page_verdicts: dict[PageId, bool] = {}
+        self._repaired: set[str] = set()
         self.stats: Counter = Counter()
 
     # -- arming ----------------------------------------------------------
@@ -214,6 +254,56 @@ class FaultInjector:
         if slow is None or self.sim.now < slow.from_time:
             return 1.0
         return slow.factor
+
+    # -- page corruption -------------------------------------------------
+
+    def _corruption_rate(self, node_id: int, file: str) -> float:
+        """Corruption probability for pages of ``file`` homed on ``node_id``."""
+        if file in self._repaired:
+            return 0.0
+        for spec in self.plan.page_corruptions:
+            if spec.file == file and (spec.node is None
+                                      or spec.node == node_id):
+                return spec.rate
+        return 0.0
+
+    def page_corrupt(self, node_id: int, page: PageId) -> bool:
+        """True when this page's checksum fails to verify.
+
+        The verdict is drawn once per page from a stream seeded by the
+        page's full identity (file, kind, partition, page number) plus the
+        home node, then cached — bit rot is sticky, so every read of a
+        corrupt page fails the same way until :meth:`repair_file` rewrites
+        it.  Callers must pass the page's *home* node so the verdict does
+        not depend on which survivor currently serves the partition.
+        """
+        rate = self._corruption_rate(node_id, page.file)
+        if rate <= 0.0:
+            return False
+        cached = self._page_verdicts.get(page)
+        if cached is not None:
+            return cached
+        mix = (zlib.crc32(f"{page.file}:{page.page_kind}".encode())
+               + page.partition * 52_711 + page.page_no * 15_485_863)
+        rng = random.Random(self.plan.seed * 1_000_003 + node_id * 7919
+                            + _CORRUPTION_CHANNEL + mix)
+        hit = rng.random() < rate
+        self._page_verdicts[page] = hit
+        if hit:
+            self.stats["page-corruption"] += 1
+        return hit
+
+    def repair_file(self, file_name: str) -> None:
+        """Mark a structure as rewritten: its pages verify clean again."""
+        self._repaired.add(file_name)
+        self._page_verdicts = {p: v for p, v in self._page_verdicts.items()
+                               if p.file != file_name}
+
+    @property
+    def has_corruption(self) -> bool:
+        """True while any un-repaired corruption spec is active."""
+        return any(spec.rate > 0.0 and spec.file not in self._repaired
+                   for spec in self.plan.page_corruptions)
 
     @property
     def has_crashes(self) -> bool:

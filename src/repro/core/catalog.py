@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 import logging
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional
 
 from repro.core.interpreters import Interpreter
@@ -36,10 +36,42 @@ logger = logging.getLogger("repro.catalog")
 
 
 class StructureState(enum.Enum):
-    """Lifecycle of a registered structure."""
+    """Lifecycle of a registered structure.
 
-    REGISTERED = "registered"  # definition known, index not built
-    BUILT = "built"            # index materialized and usable
+    ::
+
+        PENDING --> BUILDING --> READY <--> DEGRADED --> QUARANTINED
+           ^            |          ^                          |
+           |  (crash:   |          |        (rebuild)         |
+           +- resumable +          +--------------------------+
+
+    ``PENDING``: definition known, index not built.  ``BUILDING``: a
+    checkpointed build is in flight (possibly interrupted — the completed
+    partition set says how far it got).  ``READY``: materialized and
+    usable.  ``DEGRADED``: the scrub worker found corrupt pages; the
+    planner stops choosing it, repair is scheduled.  ``QUARANTINED``: a
+    query hit corruption mid-probe; the structure is withdrawn from
+    service until rebuilt.
+
+    ``REGISTERED`` and ``BUILT`` are aliases of ``PENDING`` and ``READY``
+    (the pre-lifecycle names), kept so existing callers and persisted
+    ``.value`` strings keep working unchanged.
+    """
+
+    PENDING = "registered"        # definition known, index not built
+    BUILDING = "building"         # checkpointed build in flight / resumable
+    READY = "built"               # index materialized and usable
+    DEGRADED = "degraded"         # scrub found bad pages; repair scheduled
+    QUARANTINED = "quarantined"   # corruption hit a query; out of service
+
+    # Pre-lifecycle aliases (same members, historical names).
+    REGISTERED = "registered"
+    BUILT = "built"
+
+
+#: States in which the planner and engines must not trust the structure.
+_UNHEALTHY = frozenset({StructureState.DEGRADED,
+                        StructureState.QUARANTINED})
 
 
 @dataclass
@@ -127,6 +159,9 @@ class StructureCatalog:
         self.dfs = dfs
         self._definitions: dict[str, AccessMethodDefinition] = {}
         self._states: dict[str, StructureState] = {}
+        #: per-structure set of base partitions whose build work is done —
+        #: the crash-safe build checkpoint (only populated while BUILDING)
+        self._checkpoints: dict[str, set[int]] = {}
         #: names of indexes in the order the catalog materialized them
         self.build_log: list[str] = []
 
@@ -174,19 +209,107 @@ class StructureCatalog:
         raise UnknownStructure(f"no structure named {name!r}")
 
     def pending(self) -> list[str]:
-        """Registered access methods whose index is not built yet."""
+        """Access methods whose index is not built yet (including builds
+        interrupted mid-flight, which are resumable)."""
         return [name for name, state in self._states.items()
-                if state is StructureState.REGISTERED]
+                if state is StructureState.PENDING
+                or state is StructureState.BUILDING]
+
+    # -- lifecycle & health ----------------------------------------------
+
+    def healthy(self, name: str) -> bool:
+        """True unless the structure is DEGRADED or QUARANTINED.
+
+        Plain files and not-yet-built indexes count as healthy: laziness is
+        a lifecycle phase, not a health problem (the planner prices an
+        unbuilt index by its post-build shape, exactly as before).
+        Unknown names are healthy too — resolution will raise on its own.
+        """
+        return self._states.get(name) not in _UNHEALTHY
+
+    def demote(self, name: str) -> None:
+        """Scrub verdict: the structure has bad pages.  READY → DEGRADED."""
+        if self.state(name) is not StructureState.READY:
+            return
+        self._states[name] = StructureState.DEGRADED
+        logger.warning("structure %r demoted to degraded", name)
+
+    def quarantine(self, name: str) -> None:
+        """Query verdict: a probe hit corruption.  Withdraw from service."""
+        state = self.state(name)
+        if state is StructureState.QUARANTINED:
+            return
+        if name not in self.dfs:
+            raise UnknownStructure(
+                f"cannot quarantine unmaterialized structure {name!r}")
+        self._states[name] = StructureState.QUARANTINED
+        logger.warning("structure %r quarantined", name)
+
+    # -- checkpointed builds ---------------------------------------------
+
+    def begin_build(self, name: str) -> None:
+        """Enter (or re-enter) the BUILDING state for a checkpointed build.
+
+        Idempotent for an interrupted build: the completed-partition set is
+        kept, so a resumed build only pays for the missing partitions.
+        """
+        self.definition(name)  # must be a registered access method
+        if self.state(name) is StructureState.READY:
+            raise AccessMethodError(
+                f"structure {name!r} is already built")
+        self._states[name] = StructureState.BUILDING
+        self._checkpoints.setdefault(name, set())
+
+    def record_checkpoint(self, name: str, partition_id: int) -> None:
+        """Durably record one base partition's build work as done."""
+        self._checkpoints.setdefault(name, set()).add(partition_id)
+
+    def completed_partitions(self, name: str) -> frozenset[int]:
+        """Base partitions already checkpointed for ``name``'s build."""
+        return frozenset(self._checkpoints.get(name, ()))
+
+    def build_complete(self, name: str) -> bool:
+        """True when every base partition of ``name`` is checkpointed."""
+        definition = self.definition(name)
+        base = self.dfs.get_base(definition.base_file)
+        return self._checkpoints.get(name, set()) >= set(
+            range(base.num_partitions))
+
+    def abandon_build(self, name: str) -> None:
+        """Roll an in-flight build back to PENDING, dropping checkpoints."""
+        if self._states.get(name) is StructureState.BUILDING:
+            self._states[name] = StructureState.PENDING
+        self._checkpoints.pop(name, None)
+
+    def rebuild(self, name: str) -> BtreeFile:
+        """Repair path: drop the materialized index and build it afresh.
+
+        Used by the scrub worker after demotion/quarantine; the rebuilt
+        structure comes back READY with a clean checkpoint slate.
+        """
+        definition = self.definition(name)
+        if name in self.dfs:
+            self.dfs.drop(name)
+        self._checkpoints.pop(name, None)
+        self._states[name] = StructureState.PENDING
+        logger.info("rebuilding structure %r on %r", name,
+                    definition.base_file)
+        return self.ensure_built(name)
+
+    def access_methods(self) -> list[str]:
+        """All registered access-method names, sorted."""
+        return sorted(self._definitions)
 
     # -- building --------------------------------------------------------
 
     def ensure_built(self, name: str) -> BtreeFile:
         """Materialize an index if needed; returns it."""
-        if self._states.get(name) is StructureState.BUILT or name in self.dfs:
+        if self._states.get(name) is StructureState.READY or name in self.dfs:
             return self.dfs.get_index(name)
         definition = self.definition(name)
         index = self._build(definition)
-        self._states[name] = StructureState.BUILT
+        self._states[name] = StructureState.READY
+        self._checkpoints.pop(name, None)
         self.build_log.append(name)
         logger.info("built %s index %r on %r (%d entries)",
                     definition.scope, name, definition.base_file,

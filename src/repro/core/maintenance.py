@@ -31,6 +31,7 @@ from repro.core.interpreters import (
     Interpreter,
 )
 from repro.core.job import Job
+from repro.errors import NodeCrashed
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.cluster.cluster import Cluster
@@ -50,42 +51,86 @@ class MaintenanceWorker:
         self.cluster = cluster
 
     def run_pending(self) -> tuple[list[str], float]:
-        """Build every pending index.
+        """Build every pending index, checkpointing per base partition.
 
         Returns ``(names_built, simulated_build_seconds)``; the time is 0.0
         without a cluster.
+
+        With a cluster, each build runs as a simulated job that records a
+        catalog checkpoint after every base partition's scan.  A
+        :class:`~repro.errors.NodeCrashed` mid-build therefore leaves the
+        structure ``BUILDING`` with a consistent completed-partition set —
+        the next ``run_pending`` charges only the missing partitions before
+        materializing.  The charge/materialize pair is atomic per
+        structure: if materialization raises, the build is rolled back to
+        ``PENDING`` and the catalog is unchanged.
         """
         pending = self.catalog.pending()
         total_elapsed = 0.0
         built: list[str] = []
         for name in pending:
-            if self.cluster is not None:
-                total_elapsed += self._charge_build_cost(name)
-            self.catalog.ensure_built(name)
+            if self.cluster is None:
+                self.catalog.ensure_built(name)
+                built.append(name)
+                continue
+            self.catalog.begin_build(name)
+            total_elapsed += self.charge_build_cost(name)
+            if not self.catalog.build_complete(name):
+                # A crash interrupted the build job; the structure stays
+                # BUILDING with its checkpoints, resumable next run.
+                logger.warning(
+                    "build of %r interrupted after %d/%d partitions",
+                    name, len(self.catalog.completed_partitions(name)),
+                    self.catalog.dfs.get_base(
+                        self.catalog.definition(name).base_file
+                    ).num_partitions)
+                continue
+            try:
+                self.catalog.ensure_built(name)
+            except Exception:
+                self.catalog.abandon_build(name)
+                raise
             built.append(name)
-            if self.cluster is not None:
-                # A rebuilt structure's old pages are stale RAM.
-                self.cluster.invalidate_cached_file(name)
+            # A rebuilt structure's old pages are stale RAM.
+            self.cluster.invalidate_cached_file(name)
         if built:
             logger.info("background build of %s took %.4fs simulated",
                         built, total_elapsed)
         return built, total_elapsed
 
-    def _charge_build_cost(self, name: str) -> float:
-        """Simulate one build: every node scans its local base partitions in
-        parallel and pays per-record CPU."""
+    def charge_build_cost(self, name: str) -> float:
+        """Simulate one (possibly resumed) build of ``name``.
+
+        Every node scans its local base partitions in parallel and pays
+        per-record CPU, skipping partitions already checkpointed by an
+        earlier interrupted run and recording a checkpoint after each one
+        it finishes.  A node crash stops that node's share cleanly — the
+        job still completes, and the checkpoint set tells the caller how
+        far the build got.  Crashed nodes' partitions are scanned by their
+        serving survivors (the DFS replica path).
+        """
         assert self.cluster is not None
         definition = self.catalog.definition(name)
         base = self.catalog.dfs.get_base(definition.base_file)
+        catalog = self.catalog
         cluster = self.cluster
+        done = catalog.completed_partitions(name)
 
         def node_build(node_id: int):
-            node = cluster.node(node_id)
-            for pid in base.partitions_on_node(node_id):
-                nbytes = base.partition_bytes(pid)
-                count = len(base.partitions[pid])
-                yield from node.disk.sequential_read(nbytes)
-                yield from node.process_tuples(count)
+            try:
+                node = cluster.node(cluster.serving_node(node_id))
+                for pid in base.partitions_on_node(node_id):
+                    if pid in done:
+                        continue
+                    nbytes = base.partition_bytes(pid)
+                    count = len(base.partitions[pid])
+                    yield from node.disk.sequential_read(nbytes)
+                    yield from node.process_tuples(count)
+                    catalog.record_checkpoint(name, pid)
+            except NodeCrashed:
+                # This node's share dies with it; partitions it had already
+                # finished stay checkpointed, the rest wait for a resume.
+                return
 
         def build_job():
             procs = [cluster.launch(node_build(n), name=f"build@{n}")
@@ -110,10 +155,10 @@ class MaintenanceWorker:
         """
         records = list(records)
         base = self.catalog.dfs.get_base(file_name)
+        loader = self.catalog.dfs.loader_info(file_name)
         total_writes = 0
         placements: list[tuple] = []
         for record in records:
-            loader = self.catalog.dfs.loader_info(file_name)
             partition_key = loader.partition_key_fn(record)
             node = base.node_of(base.partition_of_key(partition_key))
             __, writes = self.catalog.insert_record(file_name, record)

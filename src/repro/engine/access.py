@@ -28,7 +28,8 @@ structural pruning a range partitioner affords to range probes.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Optional, Sequence, Union
+import bisect
+from typing import TYPE_CHECKING, Any, Iterator, Optional, Sequence, Union
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.disk import DiskSpec
@@ -36,18 +37,24 @@ from repro.config import EngineConfig
 from repro.core.functions import Dereferencer
 from repro.core.pointers import Pointer, PointerRange
 from repro.core.records import Record
-from repro.engine.metrics import ExecutionMetrics
+from repro.engine.metrics import (ExecutionMetrics, FailureRecord,
+                                  FailureReport)
 from repro.engine.trace import TraceEvent
 from repro.errors import (DereferenceTimeout, ExecutionError, FaultError,
-                          NodeCrashed, TransientIOError)
+                          NodeCrashed, ReproError, StructureCorruptionError,
+                          TransientIOError)
 from repro.plan.scanstage import ScanLookupDereferencer
-from repro.storage.cache import PageId
+from repro.storage.cache import PageId, page_checksum
 from repro.storage.files import BtreeFile, File, PartitionedFile
 from repro.storage.partitioner import RangePartitioner
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.core.catalog import StructureCatalog
+
 __all__ = ["resolve_partitions", "initial_probe_pids",
            "simulated_dereference", "resilient_dereference",
-           "count_only_dereference", "classify_failure"]
+           "recovering_dereference", "count_only_dereference",
+           "classify_failure"]
 
 Target = Union[Pointer, PointerRange]
 
@@ -177,12 +184,16 @@ def simulated_dereference(cluster: Cluster, config: EngineConfig,
             cluster, metrics, stage, dereferencer, file, target,
             partition_id, executing_node, context)
         return records
-    owner = cluster.serving_node(file.node_of(partition_id))
+    home = file.node_of(partition_id)
+    owner = cluster.serving_node(home)
     start_time = cluster.sim.now
     records = dereferencer.fetch(file, target, partition_id)
     is_index = isinstance(file, BtreeFile)
     owner_disk = cluster.node(owner).disk
     page_size = owner_disk.spec.page_size
+
+    injector = cluster.faults
+    check = injector is not None and injector.has_corruption
 
     pool = cluster.node(owner).buffer_pool
     pages = None
@@ -207,6 +218,11 @@ def simulated_dereference(cluster: Cluster, config: EngineConfig,
                 yield from owner_disk.random_read()
                 # only a read that completed populates the cache
                 pool.insert(page, page_size)
+            # The checksum is verified after the read is paid for — a
+            # corrupt page costs its IO like any other (the verdict keys
+            # on the home node, so it survives replica promotion).
+            if check and injector.page_corrupt(home, page):
+                raise _corruption_error(file, page)
         metrics.count_fetch(stage, len(records), is_index, misses)
     else:
         reads = _fetch_cost_reads(file, records, page_size)
@@ -214,6 +230,11 @@ def simulated_dereference(cluster: Cluster, config: EngineConfig,
         for __ in range(reads):
             # Dependent page reads serialize inside this simulated thread.
             yield from owner_disk.random_read()
+        if check:
+            for page in (_probe_page_ids(file, target, partition_id,
+                                         page_size) or ()):
+                if injector.page_corrupt(home, page):
+                    raise _corruption_error(file, page)
 
     if owner != executing_node:
         response_bytes = sum(r.size_bytes for r in records)
@@ -301,6 +322,13 @@ def _scan_stage_dereference(cluster: Cluster, metrics: ExecutionMetrics,
     return dereferencer.apply_filter(records, context)
 
 
+def _corruption_error(file: File, page: PageId) -> StructureCorruptionError:
+    return StructureCorruptionError(
+        f"checksum mismatch on {page.file!r} partition {page.partition} "
+        f"{page.page_kind} page {page.page_no} (expected crc "
+        f"{page_checksum(page):08x})", structure=file.name, page=page)
+
+
 def classify_failure(exc: BaseException) -> str:
     """FailureRecord kind for an exception the resilience layer caught."""
     if isinstance(exc, ExecutionError) and isinstance(exc.__cause__,
@@ -310,6 +338,8 @@ def classify_failure(exc: BaseException) -> str:
         return "timeout"
     if isinstance(exc, NodeCrashed):
         return "node-crash"
+    if isinstance(exc, StructureCorruptionError):
+        return "corruption"
     if isinstance(exc, TransientIOError):
         return "transient-io"
     return "user-error"
@@ -429,6 +459,215 @@ def resilient_dereference(cluster: Cluster, config: EngineConfig,
                          "retry")
             if delay > 0:
                 yield cluster.sim.timeout(delay)
+
+
+class _ScanRecoveryTable:
+    """Replacement serving path for one quarantined index structure.
+
+    Built by scanning the *base* file (whose pages are fine) and
+    re-deriving the index entries exactly as the DFS build does — same
+    extraction, same physical targets, same placement, same within-key
+    order — so probes answered from here return byte-identical records to
+    what the healthy index would have returned.  The build is charged once
+    per job as a parallel sequential scan (the same cost shape as a
+    scan-backed plan stage); concurrent probes wait on the build event.
+    """
+
+    def __init__(self, catalog: "StructureCatalog", file: BtreeFile) -> None:
+        self.file = file
+        self.definition = catalog.definition(file.name)
+        self.base = catalog.dfs.get_base(self.definition.base_file)
+        self.loader = catalog.dfs.loader_info(self.definition.base_file)
+        self._event: Any = None
+        self._ready = False
+        self._pairs: dict[int, list[tuple[Any, Record]]] = {}
+        self._keys: dict[int, list[Any]] = {}
+
+    def _materialize(self) -> None:
+        from repro.core.pointers import PointerKind
+        from repro.storage.files import IndexEntry
+
+        replicated = self.file.scope == "replicated"
+        local = self.file.scope == "local"
+        buckets: dict[int, list[tuple[Any, Record]]] = {
+            pid: [] for pid in range(self.file.num_partitions)}
+        for __, heap in enumerate(self.base.partitions):
+            for slot, record in enumerate(heap.scan()):
+                keys = self.definition.extract_keys(record)
+                base_partition_key = (self.loader.partition_key_fn(record)
+                                      if keys else None)
+                for index_key in keys:
+                    entry = IndexEntry(index_key, base_partition_key, slot,
+                                       kind=PointerKind.PHYSICAL)
+                    if replicated:
+                        for bucket in buckets.values():
+                            bucket.append((index_key, entry))
+                        continue
+                    placement_key = (base_partition_key if local
+                                     else index_key)
+                    pid = self.file.partition_of_key(placement_key)
+                    buckets[pid].append((index_key, entry))
+        for pid, bucket in buckets.items():
+            # Stable sort: within one key, entries keep base slot order —
+            # the same duplicate order the B-tree's bulk load produces.
+            bucket.sort(key=lambda pair: pair[0])
+            self._pairs[pid] = bucket
+            self._keys[pid] = [key for key, __ in bucket]
+
+    def charge_build(self, cluster: Cluster,
+                     metrics: ExecutionMetrics) -> Iterator:
+        """Pay for (and perform) the one-time base scan, build-once."""
+        if self._ready:
+            return
+        if self._event is not None:
+            yield self._event
+            return
+        self._event = cluster.sim.event()
+        base = self.base
+
+        def build_on(node_id: int):
+            serving = cluster.serving_node(node_id)
+            node = cluster.node(serving)
+            nbytes = rows = 0
+            for pid in base.partitions_on_node(node_id):
+                nbytes += base.partition_bytes(pid)
+                rows += len(base.partitions[pid])
+            if nbytes:
+                yield from node.disk.sequential_read(nbytes)
+            if rows:
+                yield from node.process_tuples(rows)
+            if cluster.num_nodes > 1 and nbytes:
+                shipped = int(nbytes * (cluster.num_nodes - 1)
+                              / cluster.num_nodes)
+                if shipped:
+                    yield from cluster.network.transfer(
+                        serving, (serving + 1) % cluster.num_nodes, shipped)
+
+        procs = [cluster.launch(build_on(n), name=f"recover@{n}")
+                 for n in range(cluster.num_nodes)]
+        yield cluster.sim.all_of(procs)
+        self._materialize()
+        metrics.scan_stage_builds += 1
+        metrics.scan_stage_bytes += base.total_bytes
+        self._ready = True
+        self._event.succeed()
+
+    def probe(self, target: Target, partition_id: int) -> list[Record]:
+        """The entries the healthy index would return for this probe."""
+        pairs = self._pairs.get(partition_id, [])
+        keys = self._keys.get(partition_id, [])
+        if isinstance(target, PointerRange):
+            lo = (0 if target.low is None
+                  else bisect.bisect_left(keys, target.low)
+                  if target.inclusive_low
+                  else bisect.bisect_right(keys, target.low))
+            hi = (len(keys) if target.high is None
+                  else bisect.bisect_right(keys, target.high)
+                  if target.inclusive_high
+                  else bisect.bisect_left(keys, target.high))
+        else:
+            lo = bisect.bisect_left(keys, target.key)
+            hi = bisect.bisect_right(keys, target.key)
+        return [entry for __, entry in pairs[lo:hi]]
+
+
+def _scan_recoverable(catalog: "StructureCatalog", name: str) -> bool:
+    """True when a corrupt structure can be re-served from its base file."""
+    try:
+        definition = catalog.definition(name)
+        catalog.dfs.loader_info(definition.base_file)
+    except ReproError:
+        return False
+    return True
+
+
+def _recovery_probe(cluster: Cluster, metrics: ExecutionMetrics, stage: int,
+                    dereferencer: Dereferencer, file: BtreeFile,
+                    target: Target, partition_id: int, executing_node: int,
+                    context: Any, catalog: "StructureCatalog",
+                    runtime: dict) -> Iterator:
+    """Serve one probe of a quarantined structure from the recovery table."""
+    table = runtime.get(file.name)
+    if table is None:
+        table = _ScanRecoveryTable(catalog, file)
+        runtime[file.name] = table
+    yield from table.charge_build(cluster, metrics)
+    records = table.probe(target, partition_id)
+    metrics.corruption_fallbacks += 1
+    metrics.count_fetch(stage, len(records), True, 0)
+    if records:
+        exec_node = cluster.serving_node(executing_node)
+        yield from cluster.node(exec_node).process_tuples(len(records))
+    return dereferencer.apply_filter(records, context)
+
+
+def recovering_dereference(cluster: Cluster, config: EngineConfig,
+                           metrics: ExecutionMetrics, stage: int,
+                           dereferencer: Dereferencer, file: File,
+                           target: Target, partition_id: int,
+                           executing_node: int, context: Any, *,
+                           catalog: Optional["StructureCatalog"] = None,
+                           failures: Optional[FailureReport] = None,
+                           runtime: Optional[dict] = None) -> Iterator:
+    """Corruption-aware wrapper over :func:`resilient_dereference`.
+
+    With no catalog/recovery state supplied — or no corruption injected
+    and every structure healthy — this is a pure passthrough: zero extra
+    simulated events, byte-identical behavior.  Under an active :class:`~repro.cluster.
+    faults.PageCorruption` plan it adds the quarantine protocol:
+
+    * a probe that raises :class:`~repro.errors.StructureCorruptionError`
+      quarantines the structure in the catalog (once), drops its cached
+      pages, records the event in the :class:`FailureReport`'s quarantine
+      ledger, and re-serves the probe from a :class:`_ScanRecoveryTable`
+      built over the base file;
+    * probes of a structure already quarantined (or demoted by the scrub
+      worker) go straight to the recovery table without touching the sick
+      pages;
+    * structures with no registered definition (no base file to rebuild
+      from) propagate the corruption error to the engine's failure policy.
+    """
+    injector = cluster.faults
+    corrupting = injector is not None and injector.has_corruption
+    sick = (catalog is not None and isinstance(file, BtreeFile)
+            and not catalog.healthy(file.name))
+    if (catalog is None or runtime is None
+            or not (corrupting or sick)
+            or isinstance(dereferencer, ScanLookupDereferencer)):
+        records = yield from resilient_dereference(
+            cluster, config, metrics, stage, dereferencer, file, target,
+            partition_id, executing_node, context)
+        return records
+    name = file.name
+    if (isinstance(file, BtreeFile) and not catalog.healthy(name)
+            and _scan_recoverable(catalog, name)):
+        records = yield from _recovery_probe(
+            cluster, metrics, stage, dereferencer, file, target,
+            partition_id, executing_node, context, catalog, runtime)
+        return records
+    try:
+        records = yield from resilient_dereference(
+            cluster, config, metrics, stage, dereferencer, file, target,
+            partition_id, executing_node, context)
+        return records
+    except StructureCorruptionError as exc:
+        metrics.corruptions_detected += 1
+        if not (isinstance(file, BtreeFile)
+                and _scan_recoverable(catalog, name)):
+            raise
+        if catalog.healthy(name):
+            catalog.quarantine(name)
+            metrics.quarantines += 1
+            cluster.invalidate_cached_file(name)
+            if failures is not None:
+                failures.note_quarantine(FailureRecord(
+                    stage=stage, node=executing_node,
+                    partition=partition_id, kind="corruption",
+                    error=str(exc), attempts=1, time=cluster.sim.now))
+        records = yield from _recovery_probe(
+            cluster, metrics, stage, dereferencer, file, target,
+            partition_id, executing_node, context, catalog, runtime)
+        return records
 
 
 def count_only_dereference(metrics: ExecutionMetrics, stage: int,

@@ -66,6 +66,12 @@ class ExecutionMetrics:
     tasks_skipped: int = 0
     #: node crashes observed while this job was running
     node_crashes: int = 0
+    #: structure-page checksum failures detected during probes
+    corruptions_detected: int = 0
+    #: structures withdrawn from service mid-job after a checksum failure
+    quarantines: int = 0
+    #: probes re-served from a scan-built recovery table after quarantine
+    corruption_fallbacks: int = 0
     #: per-dereference timeline events when tracing is enabled, else None
     trace: Any = None
 
@@ -119,6 +125,9 @@ class ExecutionMetrics:
             "reroutes": self.reroutes,
             "tasks_skipped": self.tasks_skipped,
             "node_crashes": self.node_crashes,
+            "corruptions_detected": self.corruptions_detected,
+            "quarantines": self.quarantines,
+            "corruption_fallbacks": self.corruption_fallbacks,
         }
 
 
@@ -152,9 +161,17 @@ class FailureReport:
     """
 
     records: list[FailureRecord] = field(default_factory=list)
+    #: quarantine events: structures withdrawn mid-job after a checksum
+    #: failure.  Recorded separately because the affected probes were
+    #: re-served from a scan — nothing was lost, so these do not make the
+    #: result incomplete.
+    quarantined: list[FailureRecord] = field(default_factory=list)
 
     def add(self, record: FailureRecord) -> None:
         self.records.append(record)
+
+    def note_quarantine(self, record: FailureRecord) -> None:
+        self.quarantined.append(record)
 
     @property
     def dropped_units(self) -> int:
@@ -171,21 +188,35 @@ class FailureReport:
 
     def render(self) -> str:
         """Human-readable account, one line per dropped unit."""
-        if not self.records:
+        if not self.records and not self.quarantined:
             return "FailureReport: complete result, nothing lost"
-        by_kind = ", ".join(f"{k}={v}" for k, v in
-                            sorted(self.counts_by_kind().items()))
-        lines = [f"FailureReport: {self.dropped_units} work unit"
-                 f"{'s' if self.dropped_units != 1 else ''} lost "
-                 f"({by_kind})"]
-        for r in self.records:
-            where = (f"partition {r.partition}" if r.partition is not None
-                     else "n/a")
+        if not self.records:
+            lines = ["FailureReport: complete result, nothing lost"]
+        else:
+            by_kind = ", ".join(f"{k}={v}" for k, v in
+                                sorted(self.counts_by_kind().items()))
+            lines = [f"FailureReport: {self.dropped_units} work unit"
+                     f"{'s' if self.dropped_units != 1 else ''} lost "
+                     f"({by_kind})"]
+            for r in self.records:
+                where = (f"partition {r.partition}"
+                         if r.partition is not None else "n/a")
+                lines.append(
+                    f"  stage {r.stage:2d} node {r.node} {where:<13s} "
+                    f"{r.kind:<13s} after {r.attempts} attempt"
+                    f"{'s' if r.attempts != 1 else ''} at "
+                    f"{r.time * 1e3:.2f}ms: {r.error}")
+        if self.quarantined:
             lines.append(
-                f"  stage {r.stage:2d} node {r.node} {where:<13s} "
-                f"{r.kind:<13s} after {r.attempts} attempt"
-                f"{'s' if r.attempts != 1 else ''} at {r.time * 1e3:.2f}ms: "
-                f"{r.error}")
+                f"Quarantined mid-job ({len(self.quarantined)} event"
+                f"{'s' if len(self.quarantined) != 1 else ''}, "
+                "re-served by scan, nothing lost):")
+            for r in self.quarantined:
+                where = (f"partition {r.partition}"
+                         if r.partition is not None else "n/a")
+                lines.append(
+                    f"  stage {r.stage:2d} node {r.node} {where:<13s} "
+                    f"{r.kind:<13s} at {r.time * 1e3:.2f}ms: {r.error}")
         return "\n".join(lines)
 
 

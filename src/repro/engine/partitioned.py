@@ -28,7 +28,8 @@ from repro.core.job import Job, OutputRow
 from repro.core.pointers import Pointer, PointerRange
 from repro.core.records import Record
 from repro.engine.access import (classify_failure, initial_probe_pids,
-                                 resilient_dereference, resolve_partitions)
+                                 recovering_dereference,
+                                 resolve_partitions)
 from repro.engine.metrics import (ExecutionMetrics, FailureRecord,
                                   FailureReport, JobResult)
 from repro.errors import ExecutionError, JobAborted
@@ -50,6 +51,7 @@ class PartitionedEngine:
                 limit: Optional[int] = None) -> JobResult:
         metrics = ExecutionMetrics()
         self._limit = limit
+        self._recovery: dict = {}
         if self.config.trace:
             metrics.trace = []
         results: list[OutputRow] = []
@@ -101,9 +103,11 @@ class PartitionedEngine:
         """One policy-governed dereference; returns ``[]`` for a unit
         dropped under ``on_error='skip'``."""
         try:
-            records = yield from resilient_dereference(
+            records = yield from recovering_dereference(
                 self.cluster, self.config, metrics, stage, function, file,
-                target, pid, node_id, context)
+                target, pid, node_id, context, catalog=self.catalog,
+                failures=failures,
+                runtime=getattr(self, "_recovery", None))
         except Exception as exc:
             kind = classify_failure(exc)
             if self.config.on_error == "skip":

@@ -72,7 +72,8 @@ from repro.core.job import Job, OutputRow
 from repro.core.pointers import Pointer, PointerRange
 from repro.core.records import Record
 from repro.engine.access import (classify_failure, initial_probe_pids,
-                                 resilient_dereference, resolve_partitions)
+                                 recovering_dereference,
+                                 resolve_partitions)
 from repro.engine.metrics import (ExecutionMetrics, FailureRecord,
                                   FailureReport, JobResult)
 from repro.errors import ExecutionError, JobAborted, NodeCrashed
@@ -340,9 +341,11 @@ class SmpeEngine:
             dereferencer = state.job.functions[0]
             file = self.catalog.resolve(dereferencer.file_name)
             try:
-                records = yield from resilient_dereference(
+                records = yield from recovering_dereference(
                     self.cluster, self.config, state.metrics, 0,
-                    dereferencer, file, target, pid, node_id, {})
+                    dereferencer, file, target, pid, node_id, {},
+                    catalog=self.catalog, failures=state.failures,
+                    runtime=state.recovery)
             except Exception as exc:
                 self._unit_failed(state, node_id, 0, pid, exc)
                 return
@@ -477,10 +480,11 @@ class SmpeEngine:
                 if state.cancelled:
                     return
                 try:
-                    records = yield from resilient_dereference(  # line 45
+                    records = yield from recovering_dereference(  # line 45
                         self.cluster, self.config, state.metrics,
                         item.stage, function, file, target, pid, node_id,
-                        item.context)
+                        item.context, catalog=self.catalog,
+                        failures=state.failures, runtime=state.recovery)
                 except Exception as exc:
                     self._unit_failed(state, node_id, item.stage, pid, exc)
                     continue
@@ -519,3 +523,5 @@ class _RunState:
     cancelled: bool = False
     #: first fatal exception; re-raised by the job process at completion
     aborted: Optional[BaseException] = None
+    #: per-structure scan-recovery tables for quarantined structures
+    recovery: dict = field(default_factory=dict)

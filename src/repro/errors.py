@@ -98,6 +98,23 @@ class NodeCrashed(FaultError):
         self.node = node
 
 
+class StructureCorruptionError(FaultError):
+    """A probe read a structure page whose checksum did not verify.
+
+    Deliberately *not* a :class:`TransientIOError`: re-reading a corrupt
+    page cannot fix it, so the retry/backoff path never sees this.  The
+    engines' recovery layer quarantines the structure and re-serves the
+    stage from a base-file scan instead.  Carries the structure name and
+    the failing page identity (a :class:`~repro.storage.cache.PageId`).
+    """
+
+    def __init__(self, message: str, structure: str = "",
+                 page: object = None) -> None:
+        super().__init__(message)
+        self.structure = structure
+        self.page = page
+
+
 class JobAborted(ExecutionError):
     """A job was aborted mid-run by the failure policy.
 

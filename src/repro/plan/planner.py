@@ -506,6 +506,12 @@ class StagePlanner:
         chosen = (ACCESS_SCAN
                   if scan_seconds is not None and scan_seconds < index_seconds
                   else ACCESS_INDEX)
+        if (chosen == ACCESS_INDEX and scan_seconds is not None
+                and join.via_index is not None
+                and not self.catalog.healthy(join.via_index)):
+            # A degraded/quarantined index must not serve probes, whatever
+            # its price: fall back to the scan-backed stage.
+            chosen = ACCESS_SCAN
         rows_out = rows_in * fanout * self._selectivity_of(join)
         label = (f"join:{join.target}" if join.via_index is None
                  else f"join:{join.target} via {join.via_index}")
@@ -604,6 +610,28 @@ class StagePlanner:
             chosen = "mixed"
         else:
             chosen = degenerate_choice
+
+        # Health gating: a non-READY structure must not serve probes.
+        # Unbuilt (PENDING/BUILDING) structures are healthy — laziness is
+        # not sickness — so fault-free planning is unchanged.
+        source_sick = not self.catalog.healthy(logical.source.structure)
+        sick_joins = [join.via_index for join in logical.joins
+                      if join.via_index is not None
+                      and not self.catalog.healthy(join.via_index)]
+        sick_index_stage = any(
+            est.access_path == ACCESS_INDEX and join.via_index is not None
+            and not self.catalog.healthy(join.via_index)
+            for join, est in zip(logical.joins, estimates[1:]))
+        if source_sick or sick_index_stage:
+            # Even the mixed plan would touch the sick structure; only the
+            # pure scan plan avoids it entirely.  Without one, the choice
+            # stands and the engines' quarantine fallback covers the run.
+            if scan_plan is not None:
+                chosen = "scan"
+        elif sick_joins and chosen == "index":
+            # Every sick stage was forced to scan in the estimates, so the
+            # mixed plan is the cheapest shape that avoids them all.
+            chosen = "mixed"
         return PlannedQuery(
             logical=logical, mixed=mixed, all_index=all_index,
             scan_plan=scan_plan, stage_estimates=estimates,

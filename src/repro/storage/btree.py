@@ -260,6 +260,27 @@ class BPlusTree:
             leaves.append(self._page_no(leaf))
             index = 0
 
+    def all_pages(self) -> tuple[list[int], list[int]]:
+        """``(interior_pages, leaf_pages)`` of the whole tree, breadth-first.
+
+        Assigns page numbers to any node not yet traversed, so the result
+        enumerates every page the tree would ever expose to the cache —
+        the scrub worker's sampling universe.
+        """
+        interior: list[int] = []
+        leaves: list[int] = []
+        frontier: list[Any] = [self._root]
+        while frontier:
+            next_frontier: list[Any] = []
+            for node in frontier:
+                if node.is_leaf:
+                    leaves.append(self._page_no(node))
+                else:
+                    interior.append(self._page_no(node))
+                    next_frontier.extend(node.children)
+            frontier = next_frontier
+        return interior, leaves
+
     # -- insertion -------------------------------------------------------
 
     def insert(self, key: Any, value: Any) -> None:

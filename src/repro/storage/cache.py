@@ -29,13 +29,15 @@ is the only layer allowed to charge virtual time.
 
 from __future__ import annotations
 
+import zlib
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, NamedTuple, Optional
 
 from repro.errors import StorageError
 
-__all__ = ["PageId", "CacheStats", "BufferPool", "CACHE_POLICIES"]
+__all__ = ["PageId", "page_checksum", "CacheStats", "BufferPool",
+           "CACHE_POLICIES"]
 
 #: Recognised eviction policies, in documentation order.
 CACHE_POLICIES = ("lru", "clock", "2q")
@@ -58,6 +60,21 @@ class PageId(NamedTuple):
     partition: int
     page_kind: str
     page_no: int
+
+
+def page_checksum(page: PageId) -> int:
+    """Expected CRC-32 of one page, derived from its identity.
+
+    The simulator stores no page bytes, so a checksum over content would be
+    vacuous; instead each page's *expected* checksum is a pure function of
+    its identity, and corruption is modeled as the stored checksum failing
+    to match it (the injector's per-page verdict decides which pages fail).
+    The value is stable across processes — ``zlib.crc32``, not ``hash()``
+    — so scrub digests and error messages are reproducible.
+    """
+    return zlib.crc32(
+        f"{page.file}:{page.partition}:{page.page_kind}:{page.page_no}"
+        .encode())
 
 
 @dataclass

@@ -202,6 +202,14 @@ class PartitionedFile(File):
             pages = [stable_hash(pointer.key) % heap.num_pages(page_size)]
         return [PageId(self.name, pid, "heap", page) for page in pages]
 
+    def partition_page_ids(self, partition_id: int,
+                           page_size: int) -> list[PageId]:
+        """Every heap page of one partition — the scrub sampling universe."""
+        pid = self.partitioner.validate(partition_id)
+        heap = self.partitions[pid]
+        return [PageId(self.name, pid, "heap", page)
+                for page in range(heap.num_pages(page_size))]
+
     def scan_partition(self, partition_id: int) -> Iterator[Record]:
         heap = self.partitions[self.partitioner.validate(partition_id)]
         return heap.scan()
@@ -366,6 +374,20 @@ class BtreeFile(File):
                 inclusive_high=target.inclusive_high)
         else:
             interior, leaves = tree.point_traversal_pages(target.key)
+        return ([PageId(self.name, pid, "interior", page)
+                 for page in interior]
+                + [PageId(self.name, pid, "leaf", page) for page in leaves])
+
+    def partition_page_ids(self, partition_id: int,
+                           page_size: int = 0) -> list[PageId]:
+        """Every B-tree page of one partition — the scrub sampling universe.
+
+        ``page_size`` is accepted for interface symmetry with
+        :meth:`PartitionedFile.partition_page_ids` but unused: B-tree pages
+        are identified by traversal-order node numbers, not byte offsets.
+        """
+        pid = self.partitioner.validate(partition_id)
+        interior, leaves = self.trees[pid].all_pages()
         return ([PageId(self.name, pid, "interior", page)
                  for page in interior]
                 + [PageId(self.name, pid, "leaf", page) for page in leaves])

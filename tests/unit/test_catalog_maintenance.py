@@ -235,3 +235,39 @@ class TestWorkloadStatsAndAdvisor:
         stats.note("items", "tags", "range", count=7)
         advisor = StructureAdvisor(catalog, stats)
         assert [a.field for a in advisor.advise()] == ["tags", "color"]
+
+    def test_equal_demand_ties_break_alphabetically(self):
+        # Equal demand falls back to (base_file, field) order, so advice
+        # is deterministic regardless of stats insertion order.
+        catalog = fresh_catalog()
+        stats = WorkloadStats()
+        stats.note("items", "tags", "range", count=3)
+        stats.note("items", "color", "equality", count=3)
+        stats.note("items", "pk", "range", count=3)
+        advisor = StructureAdvisor(catalog, stats)
+        assert [a.field for a in advisor.advise()] == ["color", "pk",
+                                                       "tags"]
+
+    def test_auto_apply_second_call_is_a_noop(self):
+        catalog = fresh_catalog()
+        stats = WorkloadStats()
+        stats.note("items", "color", "equality", count=4)
+        advisor = StructureAdvisor(catalog, stats)
+        assert advisor.auto_apply(INTERP) == ["idx_items_color"]
+        # Everything advisable is registered now: applying again must not
+        # re-register (which would raise) nor propose anything new.
+        assert advisor.auto_apply(INTERP) == []
+        assert catalog.pending() == ["idx_items_color"]
+
+    def test_missing_base_suppressed_alongside_real_advice(self):
+        # Demand against a file the catalog does not know is dropped
+        # without poisoning advice for files it does know.
+        catalog = fresh_catalog()
+        stats = WorkloadStats()
+        stats.note("dropped_table", "x", "range", count=99)
+        stats.note("items", "color", "range", count=5)
+        advisor = StructureAdvisor(catalog, stats)
+        advice = advisor.advise()
+        assert [(a.base_file, a.field) for a in advice] == [("items",
+                                                             "color")]
+        assert advisor.auto_apply(INTERP) == ["idx_items_color"]

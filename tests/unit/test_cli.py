@@ -104,3 +104,29 @@ class TestChaosCommand:
         out = capsys.readouterr().out
         assert "PARTIAL" in out
         assert "work units lost" in out
+
+    def test_chaos_corruption_quarantines_and_recovers(self, capsys):
+        assert main(["chaos", "--scale", "0.0005", "--nodes", "4",
+                     "--rate", "0.0", "--corruption", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "page-corruption 0.2" in out
+        assert "corrupt probes detected" in out
+        assert "re-served by scan" in out
+        assert "identical to the fault-free answer" in out
+
+
+class TestScrubCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["scrub"])
+        assert args.corruption == 0.1
+        assert args.sample_every == 1
+        assert args.seed == 7
+
+    def test_scrub_detects_repairs_and_requeries_clean(self, capsys):
+        assert main(["scrub", "--scale", "0.0005", "--nodes", "4",
+                     "--corruption", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "identical to the fault-free answer" in out
+        assert "ScrubReport" in out
+        assert "repaired:" in out
+        assert "0 corrupt probes — clean" in out
