@@ -117,6 +117,31 @@ def build_parser() -> argparse.ArgumentParser:
     scrub.add_argument("--sample-every", type=int, default=1,
                        help="scrub every Nth page per partition "
                             "(default 1 = full scrub)")
+
+    serve = commands.add_parser(
+        "serve",
+        help="drive open-loop traffic through the admission-controlled "
+             "query gateway and print per-tenant serving metrics")
+    serve.add_argument("--rate", type=float, default=60.0,
+                       help="arrivals per simulated second per tenant "
+                            "(default 60)")
+    serve.add_argument("--duration", type=float, default=1.0,
+                       help="simulated seconds of traffic (default 1.0)")
+    serve.add_argument("--nodes", type=int, default=4)
+    serve.add_argument("--tenants", type=int, default=2,
+                       help="number of interactive tenants (default 2)")
+    serve.add_argument("--slots", type=int, default=4,
+                       help="concurrent serving slots (default 4)")
+    serve.add_argument("--queue-limit", type=int, default=32,
+                       help="global queue-depth limit (default 32)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="per-request deadline in simulated seconds "
+                            "(default none)")
+    serve.add_argument("--seed", type=int, default=11,
+                       help="arrival-process seed (default 11)")
+    serve.add_argument("--maintenance", action="store_true",
+                       help="also submit background index builds on the "
+                            "maintenance lane")
     return parser
 
 
@@ -364,6 +389,107 @@ def cmd_plan(scale: float, nodes: int, selectivity: float,
     return 0
 
 
+def cmd_serve(rate: float, duration: float, nodes: int, tenants: int,
+              slots: int, queue_limit: int, deadline: Optional[float],
+              seed: int, maintenance: bool) -> int:
+    """Open-loop Poisson traffic through the query gateway."""
+    import random
+
+    from repro.cluster import Cluster
+    from repro.config import laptop_cluster_spec
+    from repro.core import (
+        AccessMethodDefinition,
+        ChainQuery,
+        MappingInterpreter,
+        Record,
+        StructureCatalog,
+    )
+    from repro.core.maintenance import MaintenanceWorker
+    from repro.service import QueryGateway, TenantSpec, background_build
+    from repro.storage import DistributedFileSystem
+
+    interp = MappingInterpreter()
+    dfs = DistributedFileSystem(num_nodes=nodes)
+    catalog = StructureCatalog(dfs)
+    events = [Record({"event_id": i, "severity": i % 100})
+              for i in range(5000)]
+    catalog.register_file("events", events, lambda r: r["event_id"])
+    catalog.register_access_method(AccessMethodDefinition(
+        name="idx_severity", base_file="events", interpreter=interp,
+        key_field="severity", scope="global"))
+    catalog.ensure_built("idx_severity")
+    # A second, lazy structure gives the maintenance lane real work.
+    catalog.register_access_method(AccessMethodDefinition(
+        name="idx_event", base_file="events", interpreter=interp,
+        key_field="event_id", scope="global"))
+
+    cluster = Cluster(laptop_cluster_spec(nodes))
+    gateway = QueryGateway(cluster, catalog, max_concurrent=slots,
+                           global_queue_limit=queue_limit)
+    sim = cluster.sim
+    tickets = []
+
+    def make_job(tenant: str, k: int):
+        low = (k * 7) % 90
+        return (ChainQuery(f"{tenant}-q{k}", interpreter=interp)
+                .from_index_range("idx_severity", low, low + 4,
+                                  base="events")
+                .build())
+
+    def driver(tenant: str, stream: random.Random):
+        clock, k = 0.0, 0
+        while True:
+            gap = stream.expovariate(rate)
+            if clock + gap >= duration:
+                return
+            clock += gap
+            yield sim.timeout(gap)
+            tickets.append(gateway.submit(
+                tenant, make_job(tenant, k), deadline=deadline))
+            k += 1
+
+    drivers = []
+    for i in range(tenants):
+        name = f"tenant{i}"
+        gateway.register(TenantSpec(name))
+        drivers.append(cluster.launch(
+            driver(name, random.Random(seed + i)), name=f"drive:{name}"))
+    if maintenance:
+        gateway.register(TenantSpec("maintenance", weight=0.5))
+        worker = MaintenanceWorker(catalog, cluster)
+        tickets.append(gateway.submit(
+            "maintenance", work=background_build(worker, "idx_event"),
+            lane="background"))
+
+    cluster.run_until(sim.all_of(drivers))
+    pendings = [t.done for t in tickets if not t.finished]
+    if pendings:
+        cluster.run_until(sim.all_of(pendings))
+    gateway.close()
+
+    table = SweepTable(
+        title=f"Serving {rate:g} req/s/tenant for {duration:g}s on "
+              f"{nodes} nodes ({slots} slots, queue limit {queue_limit})",
+        columns=["tenant", "submitted", "completed", "dropped", "p50",
+                 "p99", "queue p99", "goodput/s"])
+    for name, m in sorted(gateway.metrics.items()):
+        table.add_row(name, m.submitted, m.completed, m.dropped,
+                      format_seconds(m.latency_p50()),
+                      format_seconds(m.latency_p99()),
+                      format_seconds(m.queue_wait_p99()),
+                      round(m.goodput(), 1))
+    actions = {}
+    for decision in gateway.decisions:
+        actions[decision.action] = actions.get(decision.action, 0) + 1
+    table.add_note("decisions: " + ", ".join(
+        f"{k}={v}" for k, v in sorted(actions.items())))
+    print(table.render())
+    if maintenance:
+        print(f"idx_event state after serving: "
+              f"{catalog.state('idx_event').name}")
+    return 0
+
+
 def cmd_inventory() -> int:
     claims = ClaimsGenerator(num_claims=500, seed=1).generate()
     lake = ClaimsLake(claims, num_nodes=4)
@@ -396,4 +522,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "scrub":
         return cmd_scrub(args.scale, args.nodes, args.seed,
                          args.corruption, args.sample_every)
+    if args.command == "serve":
+        return cmd_serve(args.rate, args.duration, args.nodes,
+                         args.tenants, args.slots, args.queue_limit,
+                         args.deadline, args.seed, args.maintenance)
     return 2  # pragma: no cover - argparse enforces the choices

@@ -45,6 +45,8 @@ __all__ = ["SlowDisk", "NodeCrash", "PageCorruption", "FaultPlan",
 _IO_CHANNEL = 1
 _NET_CHANNEL = 2
 _CORRUPTION_CHANNEL = 3
+#: base tag for retry-backoff jitter; attempt number offsets within it
+_RETRY_CHANNEL = 1009
 
 
 def _stream(seed: int, node_id: int, channel: int) -> random.Random:
@@ -200,6 +202,7 @@ class FaultInjector:
         self._net_rngs = [_stream(plan.seed, n, _NET_CHANNEL)
                           for n in range(num_nodes)]
         self._slow = {s.node: s for s in plan.slow_disks}
+        self._retry_rngs: dict[tuple[int, int], random.Random] = {}
         self._page_verdicts: dict[PageId, bool] = {}
         self._repaired: set[str] = set()
         self.stats: Counter = Counter()
@@ -247,6 +250,24 @@ class FaultInjector:
         if hit:
             self.stats["network-drop"] += 1
         return hit
+
+    def retry_jitter(self, node_id: int, attempt: int) -> float:
+        """Full-jitter fraction in ``(0, 1]`` for one retry backoff.
+
+        Drawn from a dedicated stream per (node, attempt number), created
+        lazily — concurrent jobs whose dereferences fault on the same
+        node at the same instant draw *successive* values from the same
+        stream (event order is deterministic), so their capped-backoff
+        delays spread over ``(0, delay]`` instead of synchronizing into a
+        retry storm that re-saturates the recovering disk.
+        """
+        key = (node_id, attempt)
+        rng = self._retry_rngs.get(key)
+        if rng is None:
+            rng = _stream(self.plan.seed, node_id,
+                          _RETRY_CHANNEL + attempt)
+            self._retry_rngs[key] = rng
+        return 1.0 - rng.random()
 
     def disk_factor(self, node_id: int) -> float:
         """Current service-time multiplier of a node's disk array."""

@@ -75,31 +75,16 @@ class MaintenanceWorker:
                 continue
             self.catalog.begin_build(name)
             total_elapsed += self.charge_build_cost(name)
-            if not self.catalog.build_complete(name):
-                # A crash interrupted the build job; the structure stays
-                # BUILDING with its checkpoints, resumable next run.
-                logger.warning(
-                    "build of %r interrupted after %d/%d partitions",
-                    name, len(self.catalog.completed_partitions(name)),
-                    self.catalog.dfs.get_base(
-                        self.catalog.definition(name).base_file
-                    ).num_partitions)
-                continue
-            try:
-                self.catalog.ensure_built(name)
-            except Exception:
-                self.catalog.abandon_build(name)
-                raise
-            built.append(name)
-            # A rebuilt structure's old pages are stale RAM.
-            self.cluster.invalidate_cached_file(name)
+            if self.finalize_build(name):
+                built.append(name)
         if built:
             logger.info("background build of %s took %.4fs simulated",
                         built, total_elapsed)
         return built, total_elapsed
 
-    def charge_build_cost(self, name: str) -> float:
-        """Simulate one (possibly resumed) build of ``name``.
+    def build_job(self, name: str):
+        """Process generator for one (possibly resumed) build pass of
+        ``name``.
 
         Every node scans its local base partitions in parallel and pays
         per-record CPU, skipping partitions already checkpointed by an
@@ -108,6 +93,10 @@ class MaintenanceWorker:
         job still completes, and the checkpoint set tells the caller how
         far the build got.  Crashed nodes' partitions are scanned by their
         serving survivors (the DFS replica path).
+
+        :meth:`charge_build_cost` runs this on a fresh time window; the
+        serving gateway's background lane runs it inline on the shared
+        cluster timeline, where it competes with queries for the disks.
         """
         assert self.cluster is not None
         definition = self.catalog.definition(name)
@@ -132,13 +121,43 @@ class MaintenanceWorker:
                 # finished stay checkpointed, the rest wait for a resume.
                 return
 
-        def build_job():
-            procs = [cluster.launch(node_build(n), name=f"build@{n}")
-                     for n in range(cluster.num_nodes)]
-            yield cluster.sim.all_of(procs)
+        procs = [cluster.launch(node_build(n), name=f"build@{n}")
+                 for n in range(cluster.num_nodes)]
+        yield cluster.sim.all_of(procs)
 
-        __, elapsed = cluster.run_job(build_job(), name=f"build:{name}")
+    def charge_build_cost(self, name: str) -> float:
+        """Run one :meth:`build_job` pass on a fresh time window and
+        return its simulated cost."""
+        assert self.cluster is not None
+        __, elapsed = self.cluster.run_job(self.build_job(name),
+                                           name=f"build:{name}")
         return elapsed
+
+    def finalize_build(self, name: str) -> bool:
+        """Materialize a charged build; False while it is still incomplete.
+
+        An incomplete build (a crash interrupted its job) stays
+        ``BUILDING`` with its checkpoints, resumable by the next pass.
+        The materialization is atomic: if it raises, the build rolls back
+        to ``PENDING`` and the catalog is unchanged.
+        """
+        if not self.catalog.build_complete(name):
+            definition = self.catalog.definition(name)
+            total = self.catalog.dfs.get_base(
+                definition.base_file).num_partitions
+            logger.warning(
+                "build of %r interrupted after %d/%d partitions", name,
+                len(self.catalog.completed_partitions(name)), total)
+            return False
+        try:
+            self.catalog.ensure_built(name)
+        except Exception:
+            self.catalog.abandon_build(name)
+            raise
+        if self.cluster is not None:
+            # A rebuilt structure's old pages are stale RAM.
+            self.cluster.invalidate_cached_file(name)
+        return True
 
 
     # -- loading path -----------------------------------------------------

@@ -151,21 +151,23 @@ class ScrubWorker:
                 report.repaired.append(name)
         return report
 
-    def _scrub_structure(self, name: str, file: BtreeFile,
-                         report: ScrubReport) -> list[ScrubFinding]:
-        """Sample one structure's pages; return the checksum failures."""
+    def _sampled_pages(self, file: BtreeFile
+                       ) -> tuple[list[PageId], dict[int, int]]:
+        """The pages one scrub pass samples, plus their per-node counts."""
         page_size = self._page_size()
         sampled: list[PageId] = []
         for pid in range(file.num_partitions):
             pages = file.partition_page_ids(pid, page_size)
             sampled.extend(pages[::self.sample_every])
-        report.pages_checked += len(sampled)
         per_node: dict[int, int] = {}
         for page in sampled:
             home = file.node_of(page.partition)
             per_node[home] = per_node.get(home, 0) + 1
-        report.scrub_seconds += self._charge_page_reads(
-            per_node, f"scrub:{name}")
+        return sampled, per_node
+
+    def _findings(self, name: str, file: BtreeFile,
+                  sampled: list[PageId]) -> list[ScrubFinding]:
+        """Checksum verdicts for the sampled pages."""
         injector = None if self.cluster is None else self.cluster.faults
         if injector is None:
             return []
@@ -173,10 +175,21 @@ class ScrubWorker:
                 if injector.page_corrupt(file.node_of(page.partition),
                                          page)]
 
-    def _verify_structure(self, name: str, file: BtreeFile,
-                          report: ScrubReport) -> None:
-        """Targeted pass on a suspect structure: B-tree invariants plus
-        sampled index-vs-base verification."""
+    def _scrub_structure(self, name: str, file: BtreeFile,
+                         report: ScrubReport) -> list[ScrubFinding]:
+        """Sample one structure's pages; return the checksum failures."""
+        sampled, per_node = self._sampled_pages(file)
+        report.pages_checked += len(sampled)
+        report.scrub_seconds += self._charge_page_reads(
+            per_node, f"scrub:{name}")
+        return self._findings(name, file, sampled)
+
+    def _verify_entries(self, name: str, file: BtreeFile,
+                        report: ScrubReport) -> dict[int, int]:
+        """Targeted verification of a suspect structure: B-tree invariants
+        plus sampled index-vs-base checks.  Returns the per-node random
+        reads the pass owes (base-record fetches), for the caller to
+        charge."""
         definition = self.catalog.definition(name)
         base = self.catalog.dfs.get_base(definition.base_file)
         per_node: dict[int, int] = {}
@@ -199,8 +212,64 @@ class ScrubWorker:
                 home = base.node_of(target_pid)
                 per_node[home] = per_node.get(home, 0) + 1
             report.entries_verified += verified
+        return per_node
+
+    def _verify_structure(self, name: str, file: BtreeFile,
+                          report: ScrubReport) -> None:
+        per_node = self._verify_entries(name, file, report)
         report.scrub_seconds += self._charge_page_reads(
             per_node, f"verify:{name}")
+
+    # -- inline (shared-timeline) variants --------------------------------
+
+    def scrub_job(self, name: str, report: ScrubReport):
+        """Process generator: scrub one ``READY`` structure inline.
+
+        The serving gateway's background lane runs this on the shared
+        cluster timeline, where its page reads compete with queries for
+        the same disks (``run_once`` instead charges each structure on a
+        fresh time window).  Demotes on findings exactly like
+        ``run_once``; repair is a separate dispatch (see
+        :func:`repro.service.gateway.background_repair`), so the
+        scheduler can interleave interactive work between detection and
+        the much costlier rebuild.
+        """
+        assert self.cluster is not None
+        sim = self.cluster.sim
+        file = self.catalog.dfs.get_index(name)
+        report.structures_checked += 1
+        sampled, per_node = self._sampled_pages(file)
+        report.pages_checked += len(sampled)
+        start = sim.now
+        if per_node:
+            yield from self._page_read_job(per_node)
+        findings = self._findings(name, file, sampled)
+        if findings:
+            report.findings.extend(findings)
+            verify_nodes = self._verify_entries(name, file, report)
+            if verify_nodes:
+                yield from self._page_read_job(verify_nodes)
+            self.catalog.demote(name)
+            report.demoted.append(name)
+        report.scrub_seconds += sim.now - start
+
+    def repair_job(self, name: str):
+        """Process generator: rebuild one sick structure inline.
+
+        The shared-timeline variant of :meth:`repair` — same checkpointed
+        rebuild, cache invalidation, and injector verdict clearing, but
+        paid on the gateway's background lane instead of a fresh window.
+        """
+        assert self.cluster is not None
+        sim = self.cluster.sim
+        start = sim.now
+        yield from self._maintenance.build_job(name)
+        self.catalog.rebuild(name)
+        self.cluster.invalidate_cached_file(name)
+        if self.cluster.faults is not None:
+            self.cluster.faults.repair_file(name)
+        logger.info("repaired structure %r in %.4fs simulated", name,
+                    sim.now - start)
 
     # -- repair -----------------------------------------------------------
 
@@ -233,12 +302,11 @@ class ScrubWorker:
             return DiskSpec().page_size
         return self.cluster.node(0).disk.spec.page_size
 
-    def _charge_page_reads(self, per_node: dict[int, int],
-                           label: str) -> float:
-        """Charge ``per_node`` random reads + checksum CPU as one job."""
+    def _page_read_job(self, per_node: dict[int, int]):
+        """Process generator: ``per_node`` random reads + checksum CPU,
+        each node's share in parallel."""
         cluster = self.cluster
-        if cluster is None or not per_node:
-            return 0.0
+        assert cluster is not None
 
         def node_scrub(node_id: int, pages: int):
             node = cluster.node(cluster.serving_node(node_id))
@@ -246,10 +314,15 @@ class ScrubWorker:
                 yield from node.disk.random_read()
             yield from node.process_tuples(pages)
 
-        def job():
-            procs = [cluster.launch(node_scrub(n, p), name=f"scrub@{n}")
-                     for n, p in sorted(per_node.items())]
-            yield cluster.sim.all_of(procs)
+        procs = [cluster.launch(node_scrub(n, p), name=f"scrub@{n}")
+                 for n, p in sorted(per_node.items())]
+        yield cluster.sim.all_of(procs)
 
-        __, elapsed = cluster.run_job(job(), name=label)
+    def _charge_page_reads(self, per_node: dict[int, int],
+                           label: str) -> float:
+        """Charge one :meth:`_page_read_job` on a fresh time window."""
+        if self.cluster is None or not per_node:
+            return 0.0
+        __, elapsed = self.cluster.run_job(self._page_read_job(per_node),
+                                           name=label)
         return elapsed

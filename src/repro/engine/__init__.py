@@ -10,7 +10,7 @@ from repro.engine.metrics import (ExecutionMetrics, FailureRecord,
 from repro.engine.partitioned import PartitionedEngine
 from repro.engine.planned import PlannedResult, PlanningExecutor
 from repro.engine.reference import ReferenceExecutor
-from repro.engine.smpe import SmpeEngine
+from repro.engine.smpe import JobHandle, SmpeEngine
 
 __all__ = [
     "aggregate",
@@ -25,6 +25,7 @@ __all__ = [
     "FailureRecord",
     "FailureReport",
     "JobResult",
+    "JobHandle",
     "PartitionedEngine",
     "PlannedResult",
     "PlanningExecutor",

@@ -29,7 +29,8 @@ structural pruning a range partitioner affords to range probes.
 from __future__ import annotations
 
 import bisect
-from typing import TYPE_CHECKING, Any, Iterator, Optional, Sequence, Union
+from typing import (TYPE_CHECKING, Any, Callable, Iterator, Optional,
+                    Sequence, Union)
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.disk import DiskSpec
@@ -396,7 +397,9 @@ def resilient_dereference(cluster: Cluster, config: EngineConfig,
                           metrics: ExecutionMetrics, stage: int,
                           dereferencer: Dereferencer, file: File,
                           target: Target, partition_id: int,
-                          executing_node: int, context: Any) -> Iterator:
+                          executing_node: int, context: Any,
+                          abort_check: Optional[Callable[[], bool]] = None
+                          ) -> Iterator:
     """Fault-tolerant dereference: retries, timeouts, crash re-routing.
 
     The engines' resilience path around :func:`simulated_dereference`:
@@ -405,12 +408,21 @@ def resilient_dereference(cluster: Cluster, config: EngineConfig,
       retried with capped exponential backoff *in simulated time*, up to
       ``config.max_retries``, unless ``on_error='fail'`` (then the first
       fault propagates immediately); exhaustion raises
-      :class:`ExecutionError` with the final fault chained as its cause;
+      :class:`ExecutionError` with the final fault chained as its cause.
+      Each backoff delay is drawn with *full jitter* — uniform on
+      ``(0, capped_delay]`` from the fault injector's deterministic
+      per-(node, attempt) RNG stream — so concurrent jobs faulting at the
+      same instant spread their retries instead of re-colliding in a
+      synchronized storm;
     * **node crashes** re-route: the executing side re-resolves through
       :meth:`Cluster.serving_node` each attempt, and the owner side is
       re-resolved inside :func:`simulated_dereference`, so in-flight work
       moves to survivors without consuming the retry budget;
-    * user-code exceptions are never retried — they propagate unchanged.
+    * user-code exceptions are never retried — they propagate unchanged;
+    * ``abort_check`` (when supplied) is consulted at each retry
+      boundary: once it reports True the invocation gives up immediately
+      and returns no records instead of burning backoff time and disk on
+      a job that has been cancelled — its output is discarded anyway.
 
     When a fault plan is not injected this adds zero simulated events and
     is byte-for-byte identical to calling :func:`simulated_dereference`.
@@ -418,6 +430,8 @@ def resilient_dereference(cluster: Cluster, config: EngineConfig,
     attempt = 0
     crash_hops = 0
     while True:
+        if abort_check is not None and abort_check():
+            return []
         exec_node = cluster.serving_node(executing_node)
         try:
             if config.dereference_timeout > 0:
@@ -453,6 +467,13 @@ def resilient_dereference(cluster: Cluster, config: EngineConfig,
                     f"retr{'ies' if attempt != 1 else 'y'}") from exc
             delay = min(config.retry_backoff_cap,
                         config.retry_backoff_base * (2.0 ** attempt))
+            if delay > 0 and cluster.faults is not None:
+                # Full jitter: spread concurrent retries over (0, delay]
+                # instead of synchronizing every faulted job on the same
+                # backoff instants (retry storms re-saturate the disk the
+                # fault came from).  Seeded per (node, attempt), so runs
+                # replay byte-for-byte.
+                delay *= cluster.faults.retry_jitter(exec_node, attempt)
             attempt += 1
             metrics.retries += 1
             _trace_fault(cluster, metrics, stage, exec_node, partition_id,
@@ -608,7 +629,9 @@ def recovering_dereference(cluster: Cluster, config: EngineConfig,
                            executing_node: int, context: Any, *,
                            catalog: Optional["StructureCatalog"] = None,
                            failures: Optional[FailureReport] = None,
-                           runtime: Optional[dict] = None) -> Iterator:
+                           runtime: Optional[dict] = None,
+                           abort_check: Optional[Callable[[], bool]] = None
+                           ) -> Iterator:
     """Corruption-aware wrapper over :func:`resilient_dereference`.
 
     With no catalog/recovery state supplied — or no corruption injected
@@ -636,7 +659,8 @@ def recovering_dereference(cluster: Cluster, config: EngineConfig,
             or isinstance(dereferencer, ScanLookupDereferencer)):
         records = yield from resilient_dereference(
             cluster, config, metrics, stage, dereferencer, file, target,
-            partition_id, executing_node, context)
+            partition_id, executing_node, context,
+            abort_check=abort_check)
         return records
     name = file.name
     if (isinstance(file, BtreeFile) and not catalog.healthy(name)
@@ -648,7 +672,8 @@ def recovering_dereference(cluster: Cluster, config: EngineConfig,
     try:
         records = yield from resilient_dereference(
             cluster, config, metrics, stage, dereferencer, file, target,
-            partition_id, executing_node, context)
+            partition_id, executing_node, context,
+            abort_check=abort_check)
         return records
     except StructureCorruptionError as exc:
         metrics.corruptions_detected += 1

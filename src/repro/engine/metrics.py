@@ -229,11 +229,15 @@ class JobResult:
     #: what the run lost (cluster engines always attach one; the in-memory
     #: reference executor, which cannot fault, leaves it None)
     failure_report: Optional[FailureReport] = None
+    #: True when the job was cancelled mid-run (deadline, caller abort):
+    #: the rows are an honest prefix of the answer, not the answer
+    cancelled: bool = False
 
     @property
     def complete(self) -> bool:
-        """True when no work unit was dropped."""
-        return not self.failure_report
+        """True when no work unit was dropped and the run was not cut
+        short by cancellation."""
+        return not self.failure_report and not self.cancelled
 
     def __len__(self) -> int:
         return len(self.rows)

@@ -24,6 +24,7 @@ from repro.baselines.scan_engine import ScanEngine
 from repro.cluster.cluster import Cluster, ClusterSpec
 from repro.config import DEFAULT_ENGINE_CONFIG, EngineConfig
 from repro.core.catalog import StructureCatalog
+from repro.core.job import Job
 from repro.errors import ExecutionError, JobDefinitionError
 from repro.plan.logical import LogicalPlan
 from repro.plan.planner import PlannedQuery, StagePlanner, initial_cardinality
@@ -90,6 +91,27 @@ class PlanningExecutor:
         """Price every stage and decide mixed vs index vs scan."""
         return self.planner.plan(
             logical, per_match_access_factor=self.per_match_access_factor)
+
+    def serving_jobs(self, logical: LogicalPlan) -> tuple[Job, Optional[Job]]:
+        """Plan ``logical`` for gateway submission: ``(primary, fallback)``.
+
+        ``primary`` is the planner's cluster-executable pick lowered to a
+        Job — the all-index plan when the choice was ``"index"``, else the
+        mixed plan (a ``"scan"`` choice also lowers to mixed: the gateway
+        needs a cluster job, and mixed is the cheapest one).  ``fallback``
+        is the scan-free all-index job the gateway degrades to under
+        overload — scan-backed stages are what saturate the disks, so the
+        index-only variant is the load-shedding-friendly shape.  It is
+        None when the primary is already scan-free (nothing cheaper to
+        degrade to).
+        """
+        planned = self.plan(logical)
+        physical = (planned.all_index if planned.chosen == "index"
+                    else planned.mixed)
+        primary = physical.to_job(self.catalog)
+        if physical.is_pure_index:
+            return primary, None
+        return primary, planned.all_index.to_job(self.catalog)
 
     def execute(self, logical: LogicalPlan,
                 force: Optional[str] = None) -> PlannedResult:

@@ -78,9 +78,56 @@ from repro.engine.metrics import (ExecutionMetrics, FailureRecord,
                                   FailureReport, JobResult)
 from repro.errors import ExecutionError, JobAborted, NodeCrashed
 
-__all__ = ["SmpeEngine"]
+__all__ = ["JobHandle", "SmpeEngine"]
 
 _SENTINEL = object()
+
+
+@dataclass
+class JobHandle:
+    """Control handle over one submitted SMPE job.
+
+    Returned by :meth:`SmpeEngine.submit_handle`; the serving gateway
+    holds one per in-flight job.  ``completion`` is the job process's
+    event; ``result`` fills in as the simulation advances.  ``error``
+    carries the fatal exception of a job submitted with
+    ``propagate_errors=False`` (instead of re-raising out of the
+    simulation drive loop, which would take every concurrent job down
+    with it).
+    """
+
+    job: Job
+    completion: Event
+    result: JobResult
+    _engine: "SmpeEngine"
+    _state: "_RunState"
+    #: fatal exception of a non-propagating job, else None
+    error: Optional[BaseException] = None
+
+    @property
+    def done(self) -> bool:
+        return self.completion.triggered
+
+    @property
+    def cancelled(self) -> bool:
+        return self.result.cancelled
+
+    def cancel(self, reason: str = "cancelled by caller") -> bool:
+        """Cooperatively abort the job; True if the cancel took effect.
+
+        Reuses the abort machinery: the task tracker is force-finished so
+        every dispatcher drains its queue without dispatching, in-flight
+        dereferences stop at their next partition boundary (their retry
+        loops abandon pending backoff), and the job completes with its
+        partial rows and ``result.cancelled`` set — no exception
+        propagates.  A no-op on a job that already finished.
+        """
+        if self.completion.triggered or self._state.cancelled:
+            return False
+        self.result.cancelled = True
+        self._state.cancel_reason = reason
+        self._engine._cancel(self._state)
+        return True
 
 
 @dataclass
@@ -153,6 +200,19 @@ class SmpeEngine:
         equivalent of a multi-tenant engine — and are driven together
         with ``cluster.run_until(...)``.
         """
+        handle = self.submit_handle(job, limit=limit)
+        return handle.completion, handle.result
+
+    def submit_handle(self, job: Job, limit: Optional[int] = None,
+                      propagate_errors: bool = True) -> JobHandle:
+        """Launch ``job`` and return a :class:`JobHandle` over it.
+
+        Identical to :meth:`submit` plus control: the handle supports
+        cooperative :meth:`~JobHandle.cancel`.  With
+        ``propagate_errors=False`` a fatal failure does not re-raise out
+        of the simulation loop; it lands on ``handle.error`` instead, so
+        one tenant's failing job cannot crash a multi-job drive loop.
+        """
         metrics = ExecutionMetrics()
         if self.config.trace:
             metrics.trace = []
@@ -166,7 +226,8 @@ class SmpeEngine:
                           name=f"pool[{n}]")
                  for n in range(self.cluster.num_nodes)]
         state = _RunState(job, metrics, results, tracker, queues, pools,
-                          FailureReport(), limit=limit)
+                          FailureReport(), limit=limit,
+                          propagate_errors=propagate_errors)
         start = sim.now
         busy_snaps = [node.disk.spindle_busy_snapshot()
                       for node in self.cluster.nodes]
@@ -176,6 +237,8 @@ class SmpeEngine:
             def listener(dead: int) -> None:
                 self._on_node_crash(state, dead)
             self.cluster.on_node_crash(listener)
+
+        result = JobResult(results, metrics, failure_report=state.failures)
 
         # EXECUTESMPE: "distributing the data processing job to all the
         # computing nodes" (lines 2-5), then wait (line 6).
@@ -194,14 +257,17 @@ class SmpeEngine:
                 self.cluster.remove_crash_listener(listener)
             self._finalize(state, start, busy_snaps, pools)
             if state.aborted is not None:
+                if not state.propagate_errors:
+                    handle.error = state.aborted
+                    return
                 # Re-raise here so the original exception type propagates
                 # out of run_until, exactly as a direct raise would.
                 raise state.aborted
 
         completion = self.cluster.launch(job_process(),
                                          name=f"smpe:{job.name}")
-        return completion, JobResult(results, metrics,
-                                     failure_report=state.failures)
+        handle = JobHandle(job, completion, result, self, state)
+        return handle
 
     def _finalize(self, state: "_RunState", start: float,
                   busy_snaps: list, pools: list) -> None:
@@ -238,6 +304,13 @@ class SmpeEngine:
         shutdown; the first abort wins."""
         if state.aborted is None:
             state.aborted = exc
+        state.cancelled = True
+        state.tracker.force_finish()
+
+    def _cancel(self, state: "_RunState") -> None:
+        """Caller-requested cancellation: the same cooperative shutdown
+        as an abort, but with no exception — the job completes with its
+        partial rows and ``result.cancelled`` set."""
         state.cancelled = True
         state.tracker.force_finish()
 
@@ -345,7 +418,7 @@ class SmpeEngine:
                     self.cluster, self.config, state.metrics, 0,
                     dereferencer, file, target, pid, node_id, {},
                     catalog=self.catalog, failures=state.failures,
-                    runtime=state.recovery)
+                    runtime=state.recovery, abort_check=state.abort_check)
             except Exception as exc:
                 self._unit_failed(state, node_id, 0, pid, exc)
                 return
@@ -484,7 +557,8 @@ class SmpeEngine:
                         self.cluster, self.config, state.metrics,
                         item.stage, function, file, target, pid, node_id,
                         item.context, catalog=self.catalog,
-                        failures=state.failures, runtime=state.recovery)
+                        failures=state.failures, runtime=state.recovery,
+                        abort_check=state.abort_check)
                 except Exception as exc:
                     self._unit_failed(state, node_id, item.stage, pid, exc)
                     continue
@@ -525,3 +599,11 @@ class _RunState:
     aborted: Optional[BaseException] = None
     #: per-structure scan-recovery tables for quarantined structures
     recovery: dict = field(default_factory=dict)
+    #: False: fatal errors land on the JobHandle instead of re-raising
+    propagate_errors: bool = True
+    #: why a caller cancelled the job, for the handle's bookkeeping
+    cancel_reason: Optional[str] = None
+
+    def abort_check(self) -> bool:
+        """Consulted by retry loops: True once the run is winding down."""
+        return self.cancelled

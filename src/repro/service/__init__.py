@@ -1,0 +1,50 @@
+"""Query serving: admission control, fair scheduling, graceful degradation.
+
+The engines execute whatever is submitted; this package is the layer that
+decides *whether* and *when* to execute it.  A :class:`QueryGateway`
+accepts jobs from named tenants on simulated time and applies, in order:
+
+* **admission control** — per-tenant and global queue-depth limits with
+  explicit ``rejected`` / ``backpressure`` outcomes instead of unbounded
+  queuing (:mod:`repro.service.gateway`);
+* **weighted-fair scheduling** with priority lanes — interactive queries
+  preempt-in-queue over background maintenance/scrub work
+  (:mod:`repro.service.scheduler`);
+* **deadlines and cooperative cancellation** — every admitted job may
+  carry a deadline; expiry sheds it from the queue or cancels it
+  mid-stage through :meth:`~repro.engine.smpe.SmpeEngine` job handles;
+* **graceful degradation** — under sustained overload the gateway runs
+  cheaper plan variants and sheds lowest-priority queued work before
+  rejecting anything (:mod:`repro.service.shedding`);
+* **per-tenant metrics** — p50/p99 latency, queue wait, admit/shed/reject
+  counts, goodput, and the aggregated engine counters of every completed
+  job (:mod:`repro.service.tenants`).
+
+With one tenant, one job, and no contention the gateway adds zero
+simulated time: a job served through it is bit-identical to direct
+engine submission.
+"""
+
+from repro.service.gateway import (BackgroundWork, QueryGateway,
+                                   ServiceTicket, background_build,
+                                   background_repair, background_scrub)
+from repro.service.scheduler import LANES, FairScheduler, QueuedRequest
+from repro.service.shedding import OverloadPolicy, ServiceDecision
+from repro.service.tenants import ServiceMetrics, TenantSpec, percentile
+
+__all__ = [
+    "BackgroundWork",
+    "QueryGateway",
+    "ServiceTicket",
+    "background_build",
+    "background_repair",
+    "background_scrub",
+    "FairScheduler",
+    "LANES",
+    "QueuedRequest",
+    "OverloadPolicy",
+    "ServiceDecision",
+    "ServiceMetrics",
+    "TenantSpec",
+    "percentile",
+]

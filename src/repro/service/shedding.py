@@ -1,0 +1,85 @@
+"""Overload detection and the graceful-degradation ladder.
+
+An open-loop arrival stream does not slow down because the cluster is
+busy; when the arrival rate exceeds capacity the *only* choices are to
+queue without bound (which destroys every tenant's latency), or to give
+up work explicitly.  :class:`OverloadPolicy` turns the gateway's queue
+depth into an escalation level, and the gateway climbs a ladder of
+increasingly lossy responses — each rung recorded as a
+:class:`ServiceDecision`:
+
+=====  ==============  ================================================
+level  name            gateway response
+=====  ==============  ================================================
+0      normal          dispatch the primary plan
+1      degrade         dispatch the cheaper (scan-free) plan variant
+                       for requests that carry one
+2      shed            additionally drop queued background work, newest
+                       first, until the queue is back under the shed
+                       threshold
+—      reject          admission refuses work outright only when the
+                       per-tenant or global depth limit is hit — after
+                       degradation and shedding have had their chance
+=====  ==============  ================================================
+
+Levels are computed from instantaneous queue depth, which on simulated
+time is exactly the backlog integral an SLO burn-rate alarm would see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ExecutionError
+
+__all__ = ["OverloadPolicy", "ServiceDecision"]
+
+
+@dataclass(frozen=True)
+class OverloadPolicy:
+    """Queue-depth thresholds of the degradation ladder.
+
+    Attributes:
+        degrade_depth: total queued requests at or beyond which dispatch
+            switches to each request's cheaper plan variant (level 1).
+        shed_depth: total queued requests at or beyond which queued
+            background work is shed until depth falls below this (level
+            2).  Must be >= ``degrade_depth``.
+    """
+
+    degrade_depth: int = 8
+    shed_depth: int = 16
+
+    def __post_init__(self) -> None:
+        if self.degrade_depth < 1 or self.shed_depth < 1:
+            raise ExecutionError("overload thresholds must be >= 1")
+        if self.shed_depth < self.degrade_depth:
+            raise ExecutionError(
+                f"shed_depth ({self.shed_depth}) must be >= degrade_depth "
+                f"({self.degrade_depth})")
+
+    def level(self, queue_depth: int) -> int:
+        """0 = normal, 1 = degrade, 2 = shed."""
+        if queue_depth >= self.shed_depth:
+            return 2
+        if queue_depth >= self.degrade_depth:
+            return 1
+        return 0
+
+
+@dataclass(frozen=True)
+class ServiceDecision:
+    """One entry of the gateway's decision ledger.
+
+    ``action`` is one of ``"admit"``, ``"reject"`` (per-tenant limit),
+    ``"backpressure"`` (global limit), ``"shed"`` (overload drop),
+    ``"degrade"`` (cheaper plan dispatched), ``"expire"`` (deadline
+    passed in queue), ``"cancel"`` (deadline passed mid-stage).
+    """
+
+    time: float
+    action: str
+    tenant: str
+    request: str
+    reason: Optional[str] = None

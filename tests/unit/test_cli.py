@@ -130,3 +130,35 @@ class TestScrubCommand:
         assert "ScrubReport" in out
         assert "repaired:" in out
         assert "0 corrupt probes — clean" in out
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.rate == 60.0
+        assert args.duration == 1.0
+        assert args.slots == 4
+        assert args.queue_limit == 32
+        assert args.deadline is None
+        assert not args.maintenance
+
+    def test_serve_moderate_load_serves_every_tenant(self, capsys):
+        assert main(["serve", "--rate", "20", "--duration", "0.3",
+                     "--nodes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Serving 20 req/s/tenant" in out
+        assert "tenant0" in out
+        assert "tenant1" in out
+        assert "decisions:" in out
+
+    def test_serve_overload_refuses_explicitly(self, capsys):
+        assert main(["serve", "--rate", "400", "--duration", "0.3",
+                     "--queue-limit", "8", "--deadline", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "backpressure" in out
+
+    def test_serve_maintenance_lane_builds_the_lazy_index(self, capsys):
+        assert main(["serve", "--rate", "20", "--duration", "0.3",
+                     "--maintenance"]) == 0
+        out = capsys.readouterr().out
+        assert "idx_event state after serving: READY" in out
