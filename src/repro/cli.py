@@ -142,6 +142,29 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--maintenance", action="store_true",
                        help="also submit background index builds on the "
                             "maintenance lane")
+
+    ingest = commands.add_parser(
+        "ingest",
+        help="stream IoT sensor batches into a lake through the gateway's "
+             "background lane while interactive queries run")
+    ingest.add_argument("--duration", type=float, default=2.0,
+                        help="simulated seconds of streaming (default 2.0)")
+    ingest.add_argument("--nodes", type=int, default=4)
+    ingest.add_argument("--sensors", type=int, default=64,
+                        help="fleet size (default 64)")
+    ingest.add_argument("--batch-size", type=int, default=100,
+                        help="readings per micro-batch (default 100)")
+    ingest.add_argument("--batch-rate", type=float, default=8.0,
+                        help="micro-batch arrivals per simulated second "
+                             "(default 8)")
+    ingest.add_argument("--query-rate", type=float, default=20.0,
+                        help="interactive queries per simulated second "
+                             "(default 20)")
+    ingest.add_argument("--policy", choices=("none", "lazy", "eager"),
+                        default="lazy",
+                        help="delta compaction policy (default lazy)")
+    ingest.add_argument("--seed", type=int, default=11,
+                        help="arrival-process seed (default 11)")
     return parser
 
 
@@ -490,6 +513,140 @@ def cmd_serve(rate: float, duration: float, nodes: int, tenants: int,
     return 0
 
 
+def cmd_ingest(duration: float, nodes: int, sensors: int, batch_size: int,
+               batch_rate: float, query_rate: float, policy: str,
+               seed: int) -> int:
+    """Streaming sensor ingest with concurrent interactive queries."""
+    import random
+
+    from repro.cluster import Cluster
+    from repro.config import laptop_cluster_spec
+    from repro.core import (
+        AccessMethodDefinition,
+        ChainQuery,
+        StructureCatalog,
+    )
+    from repro.datagen import (
+        DEVICES_FILE,
+        READINGS_FILE,
+        SensorInterpreter,
+        TrafficSensorGenerator,
+    )
+    from repro.ingest import CompactionPolicy, Compactor, IngestCoordinator
+    from repro.service import (QueryGateway, TenantSpec,
+                               background_compaction, background_ingest)
+    from repro.storage import DistributedFileSystem
+
+    interp = SensorInterpreter()
+    generator = TrafficSensorGenerator(num_sensors=sensors, seed=seed)
+    dfs = DistributedFileSystem(num_nodes=nodes)
+    catalog = StructureCatalog(dfs)
+    catalog.register_file(
+        READINGS_FILE, generator.initial_readings(8 * sensors),
+        lambda r: interp.field(r, "device_id"),
+        key_fn=lambda r: interp.field(r, "reading_id"))
+    catalog.register_file(
+        DEVICES_FILE, generator.initial_devices(),
+        lambda r: interp.field(r, "device_id"),
+        key_fn=lambda r: interp.field(r, "device_id"))
+    catalog.register_access_method(AccessMethodDefinition(
+        name="idx_readings_by_device", base_file=READINGS_FILE,
+        interpreter=interp, key_field="device_id", scope="global"))
+    catalog.ensure_built("idx_readings_by_device")
+
+    cluster = Cluster(laptop_cluster_spec(nodes))
+    gateway = QueryGateway(cluster, catalog)
+    coordinator = IngestCoordinator(catalog, cluster)
+    compactor = Compactor(catalog, cluster,
+                          policy=getattr(CompactionPolicy, policy)())
+    gateway.register(TenantSpec("analyst"))
+    gateway.register(TenantSpec("sensors", weight=0.5))
+    sim = cluster.sim
+    tickets = []
+
+    def ingest_driver(stream: random.Random):
+        clock, k = 0.0, 0
+        while True:
+            gap = stream.expovariate(batch_rate)
+            if clock + gap >= duration:
+                return
+            clock += gap
+            yield sim.timeout(gap)
+            micro = (generator.status_batch(k) if k % 4 == 3
+                     else generator.readings_batch(k, batch_size))
+            batch = coordinator.stage(micro)
+            tickets.append(gateway.submit(
+                "sensors", work=background_ingest(coordinator, batch),
+                lane="background"))
+            for name, tier in compactor.due():
+                tickets.append(gateway.submit(
+                    "sensors",
+                    work=background_compaction(compactor, name, tier),
+                    lane="background"))
+            k += 1
+
+    def query_driver(stream: random.Random):
+        clock, k = 0.0, 0
+        while True:
+            gap = stream.expovariate(query_rate)
+            if clock + gap >= duration:
+                return
+            clock += gap
+            yield sim.timeout(gap)
+            device = f"dev-{stream.randrange(sensors):04d}"
+            job = (ChainQuery(f"readings-q{k}", interpreter=interp)
+                   .from_index_lookup("idx_readings_by_device", [device],
+                                      base=READINGS_FILE)
+                   .build())
+            tickets.append(gateway.submit("analyst", job))
+            k += 1
+
+    drivers = [
+        cluster.launch(ingest_driver(random.Random(seed)), name="ingest"),
+        cluster.launch(query_driver(random.Random(seed + 1)), name="query"),
+    ]
+    cluster.run_until(sim.all_of(drivers))
+    pendings = [t.done for t in tickets if not t.finished]
+    if pendings:
+        cluster.run_until(sim.all_of(pendings))
+    # Anything still staged (its flush was shed under load) commits now.
+    coordinator.flush_pending()
+    gateway.close()
+
+    table = SweepTable(
+        title=f"Streaming {batch_rate:g} batches/s + {query_rate:g} q/s "
+              f"for {duration:g}s on {nodes} nodes (policy {policy})",
+        columns=["tenant", "submitted", "completed", "dropped", "p50",
+                 "p99", "goodput/s"])
+    for name, m in sorted(gateway.metrics.items()):
+        table.add_row(name, m.submitted, m.completed, m.dropped,
+                      format_seconds(m.latency_p50()),
+                      format_seconds(m.latency_p99()),
+                      round(m.goodput(), 1))
+    wm = coordinator.watermark()
+    table.add_note(
+        f"watermark: committed_through={wm.committed_through} "
+        f"({wm.committed_batches} batches, {wm.pending_batches} pending, "
+        f"{wm.delta_runs} delta runs, {wm.late_records} late records)")
+    table.add_note(
+        f"compactions: minor={compactor.minor_compactions} "
+        f"major={compactor.major_compactions}; "
+        f"delta depth now: readings="
+        f"{catalog.delta_depth(READINGS_FILE)} devices="
+        f"{catalog.delta_depth(DEVICES_FILE)}")
+    served = [t.result.metrics.freshness_watermark for t in tickets
+              if t.tenant == "analyst" and t.result is not None]
+    stamped = [w for w in served if w is not None]
+    if stamped:
+        table.add_note(
+            f"query freshness: {len(stamped)}/{len(served)} stamped, "
+            f"newest watermark seen {max(stamped):g}")
+    table.add_note(f"decisions logged: {len(gateway.decisions)} "
+                   f"(dropped {gateway.decisions_dropped})")
+    print(table.render())
+    return 0
+
+
 def cmd_inventory() -> int:
     claims = ClaimsGenerator(num_claims=500, seed=1).generate()
     lake = ClaimsLake(claims, num_nodes=4)
@@ -526,4 +683,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_serve(args.rate, args.duration, args.nodes,
                          args.tenants, args.slots, args.queue_limit,
                          args.deadline, args.seed, args.maintenance)
+    if args.command == "ingest":
+        return cmd_ingest(args.duration, args.nodes, args.sensors,
+                          args.batch_size, args.batch_rate,
+                          args.query_rate, args.policy, args.seed)
     return 2  # pragma: no cover - argparse enforces the choices

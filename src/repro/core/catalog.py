@@ -164,6 +164,14 @@ class StructureCatalog:
         self._checkpoints: dict[str, set[int]] = {}
         #: names of indexes in the order the catalog materialized them
         self.build_log: list[str] = []
+        #: hook dropping cached pages of a structure (wired to
+        #: ``cluster.invalidate_cached_file`` by whoever owns a cluster);
+        #: ``None`` outside clustered runs
+        self.cache_invalidator: Optional[Callable[[str], None]] = None
+        #: the streaming-ingest delta ledger (``repro.ingest.delta.
+        #: DeltaRegistry``); ``None`` on load-once lakes, which keeps
+        #: every delta-aware code path a strict no-op
+        self._delta_registry: Optional[Any] = None
 
     # -- base files ------------------------------------------------------
 
@@ -414,6 +422,11 @@ class StructureCatalog:
                 index.insert(index_key, entry,
                              partition_key=placement_key)
                 index_writes += 1
+        # Single-record inserts mutate the base heap and every maintained
+        # tree in place; any buffer-pool pages caching them are now stale.
+        self.invalidate_cached(file_name)
+        for name in self.maintained_structures(file_name):
+            self.invalidate_cached(name)
         return pointer, index_writes
 
     def maintained_structures(self, file_name: str) -> list[str]:
@@ -422,6 +435,47 @@ class StructureCatalog:
             name for name, definition in self._definitions.items()
             if definition.base_file == file_name
             and self._states[name] is StructureState.BUILT)
+
+    def definitions_over(self, file_name: str
+                         ) -> list[AccessMethodDefinition]:
+        """Every registered access method covering ``file_name`` (any
+        state), in name order — the ingest path's maintenance set."""
+        return [self._definitions[name]
+                for name in sorted(self._definitions)
+                if self._definitions[name].base_file == file_name]
+
+    def invalidate_cached(self, file_name: str) -> None:
+        """Drop a structure's cached pages, if a cluster hook is wired."""
+        if self.cache_invalidator is not None:
+            self.cache_invalidator(file_name)
+
+    # -- streaming deltas (see repro.ingest) -----------------------------
+
+    @property
+    def delta_registry(self) -> Optional[Any]:
+        return self._delta_registry
+
+    def attach_delta_registry(self, registry: Any) -> None:
+        """Attach the streaming-ingest delta ledger (idempotent for the
+        same registry; a second, different registry is a wiring bug)."""
+        if (self._delta_registry is not None
+                and self._delta_registry is not registry):
+            raise AccessMethodError(
+                "catalog already has a different delta registry attached")
+        self._delta_registry = registry
+
+    def delta_depth(self, name: str) -> int:
+        """Unmerged delta runs behind structure ``name`` (0 when the
+        lake is static — the bit-identical fast-path guard)."""
+        if self._delta_registry is None:
+            return 0
+        return self._delta_registry.depth(name)
+
+    def delta_runs(self, name: str) -> list[Any]:
+        """The unmerged runs themselves, oldest first."""
+        if self._delta_registry is None:
+            return []
+        return self._delta_registry.runs(name)
 
     # -- resolution (the engines' entry point) ---------------------------
 

@@ -49,6 +49,10 @@ class MaintenanceWorker:
                  cluster: Optional[Cluster] = None) -> None:
         self.catalog = catalog
         self.cluster = cluster
+        if cluster is not None:
+            # Wire the catalog's cache hook so direct mutations (e.g.
+            # Catalog.insert_record) drop stale buffer-pool pages too.
+            catalog.cache_invalidator = cluster.invalidate_cached_file
 
     def run_pending(self) -> tuple[list[str], float]:
         """Build every pending index, checkpointing per base partition.

@@ -1,4 +1,5 @@
-"""Synthetic dataset generators: TPC-H and Japanese insurance claims."""
+"""Synthetic dataset generators: TPC-H, Japanese insurance claims, and
+the streaming IoT traffic-sensor feed."""
 
 from repro.datagen.claims import (
     ClaimInterpreter,
@@ -16,6 +17,12 @@ from repro.datagen.fhir import (
     bundle_id_of,
     condition_codes_of,
     medication_codes_of,
+)
+from repro.datagen.iot import (
+    DEVICES_FILE,
+    READINGS_FILE,
+    SensorInterpreter,
+    TrafficSensorGenerator,
 )
 from repro.datagen.rng import make_rng, random_phrase
 from repro.datagen.tpch import NATIONS, REGION_NAMES, TABLE_NAMES, \
@@ -35,6 +42,10 @@ __all__ = [
     "bundle_id_of",
     "condition_codes_of",
     "medication_codes_of",
+    "DEVICES_FILE",
+    "READINGS_FILE",
+    "SensorInterpreter",
+    "TrafficSensorGenerator",
     "make_rng",
     "random_phrase",
     "NATIONS",

@@ -1,0 +1,167 @@
+"""IoT traffic-sensor workload: a continuously-fed civic data lake.
+
+Modeled on the City of Austin transportation data lake (the
+``atd-data-lake`` feeds): a fleet of roadside sensors uploading
+speed/volume readings in bursts, with two properties TPC-H and the
+insurance claims never exercise —
+
+* **late arrivals** — sensors buffer readings through connectivity
+  gaps, so a batch routinely carries event times below the watermark;
+* **schema drift** — firmware generations emit different record
+  shapes.  Legacy devices send ``{"dev", "ts", "spd", "vol"}``; the
+  current generation sends ``{"device_id", "ts", "speed_kmh",
+  "volume", "occupancy_pct", "battery_v"}``.  Nothing downstream is
+  allowed to care: :class:`SensorInterpreter` absorbs the drift at
+  read time, which is exactly the LakeHarbor schema-on-read bet.
+
+The generator emits :class:`~repro.ingest.source.MicroBatch` objects on
+a deterministic seeded stream: append-only *readings* plus periodic
+*device-status* upserts (latest battery/health per device — the
+newest-wins path).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.core.interpreters import Interpreter
+from repro.core.records import Record
+from repro.datagen.rng import make_rng
+from repro.ingest.source import MicroBatch
+
+__all__ = ["SensorInterpreter", "TrafficSensorGenerator",
+           "READINGS_FILE", "DEVICES_FILE"]
+
+READINGS_FILE = "sensor_readings"
+DEVICES_FILE = "sensor_devices"
+
+#: field aliases across firmware generations, canonical name first
+_ALIASES = {
+    "device_id": ("device_id", "dev"),
+    "ts": ("ts",),
+    "speed_kmh": ("speed_kmh", "spd"),
+    "volume": ("volume", "vol"),
+    "occupancy_pct": ("occupancy_pct",),
+    "battery_v": ("battery_v",),
+    "reading_id": ("reading_id", "rid"),
+}
+
+
+class SensorInterpreter(Interpreter):
+    """Canonical view over drifting sensor-record shapes.
+
+    Missing fields interpret to ``None`` (schema-on-read: legacy
+    records simply lack occupancy/battery telemetry).
+    """
+
+    def interpret(self, record: Record) -> Mapping[str, Any]:
+        data = record.data if isinstance(record.data, Mapping) else {}
+        view = {}
+        for canonical, names in _ALIASES.items():
+            for name in names:
+                if name in data:
+                    view[canonical] = data[name]
+                    break
+            else:
+                view[canonical] = None
+        return view
+
+
+class TrafficSensorGenerator:
+    """Deterministic streaming source for the sensor lake.
+
+    Args:
+        num_sensors: fleet size.
+        seed: RNG seed; every stream derives from it.
+        batch_period: seconds of event time each readings batch spans.
+        drift_after: fraction of the fleet already on modern firmware
+            at batch 0; the rest upgrade as batches progress.
+        late_prob: chance a reading is a buffered (late) upload.
+        max_lateness: how far behind event time a late reading can be.
+    """
+
+    def __init__(self, num_sensors: int = 64, seed: int = 0, *,
+                 batch_period: float = 30.0, drift_after: float = 0.3,
+                 late_prob: float = 0.08,
+                 max_lateness: float = 240.0) -> None:
+        self.num_sensors = num_sensors
+        self.batch_period = batch_period
+        self.drift_after = drift_after
+        self.late_prob = late_prob
+        self.max_lateness = max_lateness
+        self._rng = make_rng(seed, "iot")
+        self._next_reading = 0
+        self._high_mark: Optional[float] = None
+
+    # -- bootstrap records (the load-once seed of the lake) --------------
+
+    def initial_devices(self) -> list[Record]:
+        """One status record per device — the upsert target file."""
+        return [Record({"device_id": f"dev-{i:04d}",
+                        "battery_v": round(12.0 + self._rng.random(), 2),
+                        "status": "ok", "reported_at": 0.0})
+                for i in range(self.num_sensors)]
+
+    def initial_readings(self, count: int) -> list[Record]:
+        """A small historical backlog, all in the modern shape."""
+        return [self._reading(modern=True, event_time=0.0)
+                for _ in range(count)]
+
+    # -- streaming batches -----------------------------------------------
+
+    def readings_batch(self, index: int, batch_size: int) -> MicroBatch:
+        """Batch ``index`` of appended readings (late ones included)."""
+        event_time = (index + 1) * self.batch_period
+        modern_share = min(
+            1.0, self.drift_after + index * 0.05 * (1 - self.drift_after))
+        records, late = [], 0
+        for _ in range(batch_size):
+            ts = event_time - self._rng.random() * self.batch_period
+            if self._rng.random() < self.late_prob:
+                ts -= self._rng.random() * self.max_lateness
+            if self._high_mark is not None and ts <= self._high_mark:
+                late += 1
+            records.append(self._reading(
+                modern=self._rng.random() < modern_share, event_time=ts))
+        self._high_mark = (event_time if self._high_mark is None
+                           else max(self._high_mark, event_time))
+        return MicroBatch(READINGS_FILE, appends=records,
+                          event_time=event_time, late_count=late)
+
+    def status_batch(self, index: int, devices: int = 8) -> MicroBatch:
+        """Periodic device-status upserts: newest report per device wins."""
+        event_time = (index + 1) * self.batch_period
+        chosen = self._rng.sample(range(self.num_sensors),
+                                  min(devices, self.num_sensors))
+        records = [Record({"device_id": f"dev-{i:04d}",
+                           "battery_v": round(9.0 + 4 * self._rng.random(), 2),
+                           "status": ("low" if self._rng.random() < 0.2
+                                      else "ok"),
+                           "reported_at": event_time})
+                   for i in sorted(chosen)]
+        return MicroBatch(DEVICES_FILE, upserts=records,
+                          event_time=event_time)
+
+    # -- internals -------------------------------------------------------
+
+    def _reading(self, modern: bool, event_time: float) -> Record:
+        rid = self._next_reading
+        self._next_reading += 1
+        device = self._rng.randrange(self.num_sensors)
+        speed = round(max(0.0, self._rng.gauss(52.0, 14.0)), 1)
+        volume = self._rng.randrange(0, 40)
+        if modern:
+            return Record({"reading_id": rid,
+                           "device_id": f"dev-{device:04d}",
+                           "ts": event_time,
+                           "speed_kmh": speed,
+                           "volume": volume,
+                           "occupancy_pct": round(
+                               self._rng.random() * 100, 1),
+                           "battery_v": round(
+                               9.0 + 4 * self._rng.random(), 2)})
+        return Record({"rid": rid,
+                       "dev": f"dev-{device:04d}",
+                       "ts": event_time,
+                       "spd": speed,
+                       "vol": volume})

@@ -36,8 +36,11 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.disk import DiskSpec
 from repro.config import EngineConfig
 from repro.core.functions import Dereferencer
-from repro.core.pointers import Pointer, PointerRange
+from repro.core.pointers import Pointer, PointerKind, PointerRange
 from repro.core.records import Record
+from repro.ingest.delta import (dead_base_keys, is_delta_tag,
+                                probe_delta_runs, probe_delta_tag,
+                                tombstone_set)
 from repro.engine.metrics import (ExecutionMetrics, FailureRecord,
                                   FailureReport)
 from repro.engine.trace import TraceEvent
@@ -46,7 +49,9 @@ from repro.errors import (DereferenceTimeout, ExecutionError, FaultError,
                           TransientIOError)
 from repro.plan.scanstage import ScanLookupDereferencer
 from repro.storage.cache import PageId, page_checksum
-from repro.storage.files import BtreeFile, File, PartitionedFile
+from repro.storage.files import (INDEX_KEY_FIELD, TARGET_KEY_FIELD,
+                                 TARGET_KIND_FIELD, TARGET_PARTITION_FIELD,
+                                 BtreeFile, File, PartitionedFile)
 from repro.storage.partitioner import RangePartitioner
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
@@ -55,7 +60,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 __all__ = ["resolve_partitions", "initial_probe_pids",
            "simulated_dereference", "resilient_dereference",
            "recovering_dereference", "count_only_dereference",
-           "classify_failure"]
+           "classify_failure", "stamp_watermark"]
 
 Target = Union[Pointer, PointerRange]
 
@@ -622,6 +627,111 @@ def _recovery_probe(cluster: Cluster, metrics: ExecutionMetrics, stage: int,
     return dereferencer.apply_filter(records, context)
 
 
+def _has_deltas(catalog: Optional["StructureCatalog"], dereferencer: Any,
+                file: File) -> bool:
+    """True when this probe must consult unmerged delta runs.
+
+    On a static lake (no registry, or zero runs for this structure) this
+    is False for every probe, keeping the whole delta path a strict
+    no-op.  Scan-backed stages never merge deltas — the planner refuses
+    to emit them for structures with pending runs.
+    """
+    return (catalog is not None
+            and not isinstance(dereferencer, ScanLookupDereferencer)
+            and catalog.delta_depth(file.name) > 0)
+
+
+def _merge_deltas(metrics: ExecutionMetrics, dereferencer: Dereferencer,
+                  file: File, target: Target, partition_id: int,
+                  context: Any, runs: list,
+                  records: list[Record]) -> tuple[list[Record], int]:
+    """Fold a base probe's result with the structure's unmerged runs.
+
+    Returns ``(records, runs_consulted)``; the caller charges one
+    random read per consulted run.  Newest wins throughout: built-tree
+    entries killed by tombstones, base-heap records killed by upsert
+    key sets, older-run payloads killed by newer runs' upserts.
+    """
+    if isinstance(file, BtreeFile):
+        tombstones = tombstone_set(runs, partition_id)
+        if tombstones:
+            kept = []
+            for record in records:
+                data = record.data
+                if (data.get(TARGET_KIND_FIELD) == PointerKind.PHYSICAL.value
+                        and (data.get(INDEX_KEY_FIELD),
+                             data.get(TARGET_PARTITION_FIELD),
+                             data.get(TARGET_KEY_FIELD)) in tombstones):
+                    metrics.delta_superseded += 1
+                    continue
+                kept.append(record)
+            records = kept
+        additions, superseded = probe_delta_runs(runs, partition_id, target)
+    elif (isinstance(target, Pointer)
+            and target.kind is PointerKind.LOGICAL):
+        if is_delta_tag(target.key):
+            # Synthetic address of one delta record; after a compaction
+            # folded the run, the heap alias already resolved it above.
+            if records:
+                additions, superseded = [], 0
+            else:
+                additions, superseded = probe_delta_tag(
+                    runs, partition_id, target.key)
+        else:
+            if records and target.key in dead_base_keys(runs, partition_id):
+                metrics.delta_superseded += len(records)
+                records = []
+            additions, superseded = probe_delta_runs(
+                runs, partition_id, target)
+    else:
+        # Physical base probes address one slot already vetted by the
+        # index-side tombstone filter: nothing to merge, nothing to pay.
+        return records, 0
+    metrics.delta_superseded += superseded
+    metrics.delta_probes += len(runs)
+    if additions:
+        additions = dereferencer.apply_filter(list(additions), context)
+        metrics.delta_entries += len(additions)
+        records = records + additions
+    return records, len(runs)
+
+
+def _charged_delta_merge(cluster: Cluster, metrics: ExecutionMetrics,
+                         dereferencer: Dereferencer, file: File,
+                         target: Target, partition_id: int, context: Any,
+                         catalog: "StructureCatalog",
+                         records: list[Record]) -> Iterator:
+    """Delta merge plus simulated cost: one random read per run, on the
+    disk serving the probed partition."""
+    runs = catalog.delta_runs(file.name)
+    records, consulted = _merge_deltas(
+        metrics, dereferencer, file, target, partition_id, context,
+        runs, records)
+    if consulted:
+        owner = cluster.serving_node(file.node_of(partition_id))
+        disk = cluster.node(owner).disk
+        for __ in range(consulted):
+            yield from disk.random_read()
+        metrics.random_reads += consulted
+    return records
+
+
+def stamp_watermark(metrics: ExecutionMetrics,
+                    catalog: Optional["StructureCatalog"]) -> None:
+    """Record the ingest freshness watermark this job observes.
+
+    Called once per job at metrics creation.  A no-op on static lakes
+    (no registry attached, or no batch ever staged), so zero-ingest
+    runs keep their metrics bit-identical to pre-streaming builds.
+    """
+    if catalog is None:
+        return
+    registry = catalog.delta_registry
+    if registry is None or not registry.active:
+        return
+    metrics.freshness_watermark = registry.committed_through
+
+
 def recovering_dereference(cluster: Cluster, config: EngineConfig,
                            metrics: ExecutionMetrics, stage: int,
                            dereferencer: Dereferencer, file: File,
@@ -654,6 +764,7 @@ def recovering_dereference(cluster: Cluster, config: EngineConfig,
     corrupting = injector is not None and injector.has_corruption
     sick = (catalog is not None and isinstance(file, BtreeFile)
             and not catalog.healthy(file.name))
+    fresh = _has_deltas(catalog, dereferencer, file)
     if (catalog is None or runtime is None
             or not (corrupting or sick)
             or isinstance(dereferencer, ScanLookupDereferencer)):
@@ -661,6 +772,11 @@ def recovering_dereference(cluster: Cluster, config: EngineConfig,
             cluster, config, metrics, stage, dereferencer, file, target,
             partition_id, executing_node, context,
             abort_check=abort_check)
+        if fresh:
+            assert catalog is not None
+            records = yield from _charged_delta_merge(
+                cluster, metrics, dereferencer, file, target,
+                partition_id, context, catalog, records)
         return records
     name = file.name
     if (isinstance(file, BtreeFile) and not catalog.healthy(name)
@@ -668,12 +784,20 @@ def recovering_dereference(cluster: Cluster, config: EngineConfig,
         records = yield from _recovery_probe(
             cluster, metrics, stage, dereferencer, file, target,
             partition_id, executing_node, context, catalog, runtime)
+        if fresh:
+            records = yield from _charged_delta_merge(
+                cluster, metrics, dereferencer, file, target,
+                partition_id, context, catalog, records)
         return records
     try:
         records = yield from resilient_dereference(
             cluster, config, metrics, stage, dereferencer, file, target,
             partition_id, executing_node, context,
             abort_check=abort_check)
+        if fresh:
+            records = yield from _charged_delta_merge(
+                cluster, metrics, dereferencer, file, target,
+                partition_id, context, catalog, records)
         return records
     except StructureCorruptionError as exc:
         metrics.corruptions_detected += 1
@@ -692,17 +816,25 @@ def recovering_dereference(cluster: Cluster, config: EngineConfig,
         records = yield from _recovery_probe(
             cluster, metrics, stage, dereferencer, file, target,
             partition_id, executing_node, context, catalog, runtime)
+        if fresh:
+            records = yield from _charged_delta_merge(
+                cluster, metrics, dereferencer, file, target,
+                partition_id, context, catalog, records)
         return records
 
 
 def count_only_dereference(metrics: ExecutionMetrics, stage: int,
                            dereferencer: Dereferencer, file: File,
                            target: Target, partition_id: int,
-                           context: Any) -> list[Record]:
+                           context: Any, *,
+                           catalog: Optional["StructureCatalog"] = None
+                           ) -> list[Record]:
     """The same fetch without a cluster: counts accesses, charges no time.
 
     Used by the in-memory reference executor (the correctness oracle and
-    the record-access counter behind Figure 9).
+    the record-access counter behind Figure 9).  With a catalog given,
+    probes are delta-aware exactly like the cluster engines', so the
+    oracle stays an oracle on a streaming lake.
     """
     if isinstance(dereferencer, ScanLookupDereferencer):
         first_probe = not dereferencer.has_table(file)
@@ -716,4 +848,10 @@ def count_only_dereference(metrics: ExecutionMetrics, stage: int,
     reads = _fetch_cost_reads(file, records, _REFERENCE_PAGE_SIZE)
     metrics.count_fetch(stage, len(records), isinstance(file, BtreeFile),
                         reads)
-    return dereferencer.apply_filter(records, context)
+    records = dereferencer.apply_filter(records, context)
+    if _has_deltas(catalog, dereferencer, file):
+        assert catalog is not None
+        records, __ = _merge_deltas(
+            metrics, dereferencer, file, target, partition_id, context,
+            catalog.delta_runs(file.name), records)
+    return records

@@ -72,6 +72,16 @@ class ExecutionMetrics:
     quarantines: int = 0
     #: probes re-served from a scan-built recovery table after quarantine
     corruption_fallbacks: int = 0
+    #: unmerged delta runs consulted by delta-aware probes (0 on static
+    #: lakes — the streaming-ingest path never fires there)
+    delta_probes: int = 0
+    #: live records/entries served from delta runs (post-filter)
+    delta_entries: int = 0
+    #: base records or delta payloads dropped by newest-wins upserts
+    delta_superseded: int = 0
+    #: ingest event-time watermark this job observed at submission
+    #: (None on static lakes or before the first committed batch)
+    freshness_watermark: Optional[float] = None
     #: per-dereference timeline events when tracing is enabled, else None
     trace: Any = None
 
@@ -128,6 +138,10 @@ class ExecutionMetrics:
             "corruptions_detected": self.corruptions_detected,
             "quarantines": self.quarantines,
             "corruption_fallbacks": self.corruption_fallbacks,
+            "delta_probes": self.delta_probes,
+            "delta_entries": self.delta_entries,
+            "delta_superseded": self.delta_superseded,
+            "freshness_watermark": self.freshness_watermark,
         }
 
 

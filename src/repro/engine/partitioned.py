@@ -29,7 +29,7 @@ from repro.core.pointers import Pointer, PointerRange
 from repro.core.records import Record
 from repro.engine.access import (classify_failure, initial_probe_pids,
                                  recovering_dereference,
-                                 resolve_partitions)
+                                 resolve_partitions, stamp_watermark)
 from repro.engine.metrics import (ExecutionMetrics, FailureRecord,
                                   FailureReport, JobResult)
 from repro.errors import ExecutionError, JobAborted
@@ -50,6 +50,7 @@ class PartitionedEngine:
                 max_time: Optional[float] = None,
                 limit: Optional[int] = None) -> JobResult:
         metrics = ExecutionMetrics()
+        stamp_watermark(metrics, self.catalog)
         self._limit = limit
         self._recovery: dict = {}
         if self.config.trace:

@@ -16,7 +16,8 @@ from repro.core.functions import Dereferencer, Referencer
 from repro.core.job import Job, OutputRow
 from repro.core.pointers import Pointer, PointerRange
 from repro.core.records import Record
-from repro.engine.access import count_only_dereference, resolve_partitions
+from repro.engine.access import (count_only_dereference, resolve_partitions,
+                                 stamp_watermark)
 from repro.engine.metrics import ExecutionMetrics, JobResult
 from repro.errors import ExecutionError
 
@@ -31,6 +32,7 @@ class ReferenceExecutor:
 
     def execute(self, job: Job, limit: Optional[int] = None) -> JobResult:
         metrics = ExecutionMetrics()
+        stamp_watermark(metrics, self.catalog)
         results: list[OutputRow] = []
         self._limit = limit
         dereferencer = job.functions[0]
@@ -44,7 +46,8 @@ class ReferenceExecutor:
                 if self._done(results):
                     break
                 records = count_only_dereference(
-                    metrics, 0, dereferencer, file, target, pid, {})
+                    metrics, 0, dereferencer, file, target, pid, {},
+                    catalog=self.catalog)
                 for record in records:
                     self._chain(job, metrics, results, 1, record, {})
         if limit is not None and len(results) > limit:
@@ -85,7 +88,8 @@ class ReferenceExecutor:
         file = self.catalog.resolve(function.file_name)
         for pid in resolve_partitions(file, payload):
             records = count_only_dereference(
-                metrics, stage, function, file, payload, pid, context)
+                metrics, stage, function, file, payload, pid, context,
+                catalog=self.catalog)
             for record in records:
                 self._chain(job, metrics, results, stage + 1, record,
                             context)

@@ -73,7 +73,7 @@ from repro.core.pointers import Pointer, PointerRange
 from repro.core.records import Record
 from repro.engine.access import (classify_failure, initial_probe_pids,
                                  recovering_dereference,
-                                 resolve_partitions)
+                                 resolve_partitions, stamp_watermark)
 from repro.engine.metrics import (ExecutionMetrics, FailureRecord,
                                   FailureReport, JobResult)
 from repro.errors import ExecutionError, JobAborted, NodeCrashed
@@ -214,6 +214,7 @@ class SmpeEngine:
         one tenant's failing job cannot crash a multi-job drive loop.
         """
         metrics = ExecutionMetrics()
+        stamp_watermark(metrics, self.catalog)
         if self.config.trace:
             metrics.trace = []
         results: list[OutputRow] = []

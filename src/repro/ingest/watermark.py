@@ -1,0 +1,61 @@
+"""Freshness watermarks for the streaming ingest path.
+
+A continuously-fed lake answers every query against a *version* of the
+data: everything committed through some event time, nothing after it.
+The watermark names that version.  It is stamped onto every job's
+:class:`~repro.engine.metrics.ExecutionMetrics` at submission, so
+experiments can plot staleness against compaction aggressiveness and
+query interference (ISSUE 7 / ROADMAP open item 1).
+
+Semantics are deliberately simple, in the reproduction's spirit: the
+watermark is the largest *event time* among committed micro-batches.
+Records arriving with an event time at or below the current watermark
+are *late arrivals* — they are still ingested (appends are never
+dropped), but counted, because a real pipeline would route them through
+a correction path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["FreshnessWatermark"]
+
+
+@dataclass(frozen=True)
+class FreshnessWatermark:
+    """A snapshot of ingest progress, as observed by one query.
+
+    Attributes:
+        committed_through: largest event time across committed batches
+            (``None`` before the first commit).
+        committed_batches: micro-batches fully committed (queryable).
+        pending_batches: micro-batches staged or mid-flush — their
+            records are *not* visible to queries yet.
+        delta_runs: unmerged delta runs currently backing queries (the
+            per-probe overhead compaction exists to bound).
+        last_commit_at: simulated time of the latest commit (``None``
+            before the first commit).
+        late_records: records that arrived with an event time at or
+            below the watermark of their day.
+    """
+
+    committed_through: Optional[float] = None
+    committed_batches: int = 0
+    pending_batches: int = 0
+    delta_runs: int = 0
+    last_commit_at: Optional[float] = None
+    late_records: int = 0
+
+    def staleness(self, now: float) -> Optional[float]:
+        """Seconds of simulated time since the last commit."""
+        if self.last_commit_at is None:
+            return None
+        return max(0.0, now - self.last_commit_at)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FreshnessWatermark(through={self.committed_through!r}, "
+                f"committed={self.committed_batches}, "
+                f"pending={self.pending_batches}, "
+                f"runs={self.delta_runs})")

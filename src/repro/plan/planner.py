@@ -404,6 +404,19 @@ class StagePlanner:
         return tuples * node.tuple_cpu_time / (self.spec.num_nodes
                                                * node.cores)
 
+    def _delta_depth(self, table: Optional[str]) -> int:
+        """Unmerged ingest delta runs a probe of ``table`` must consult."""
+        if table is None:
+            return 0
+        return self.catalog.delta_depth(table)
+
+    def _delta_probe_seconds(self, probes: float, runs: int) -> float:
+        """Extra cost of delta-aware probes: one random read per run per
+        probe (runs are small and uncached — no discount)."""
+        if runs <= 0:
+            return 0.0
+        return probes * runs / self._total_iops
+
     def _scan_stage_seconds(self, table: str, probes: float,
                             fanout: float) -> float:
         """Build a replicated hash table by scanning, then probe it."""
@@ -448,7 +461,11 @@ class StagePlanner:
         ios = probes * (probe_ios + heap_pages)
         io_seconds, hit_seconds = self._cache_discount(structure_bytes, ios)
         cpu = self._tuple_seconds(probes * max(1.0, fanout))
-        return hops * disk.random_service_time + io_seconds + hit_seconds + cpu
+        delta = self._delta_probe_seconds(
+            probes, self._delta_depth(join.via_index)
+            + self._delta_depth(join.target))
+        return (hops * disk.random_service_time + io_seconds + hit_seconds
+                + cpu + delta)
 
     def _source_estimates(self, source: SourceNode,
                           cardinality: float) -> StageEstimate:
@@ -464,7 +481,9 @@ class StagePlanner:
             float(self._bytes(source.structure)), probe_ios)
         probe_seconds = (disk.random_service_time + probe_io_seconds
                          + probe_hit_seconds
-                         + self._tuple_seconds(cardinality))
+                         + self._tuple_seconds(cardinality)
+                         + self._delta_probe_seconds(
+                             cardinality, self._delta_depth(source.structure)))
         scan_seconds: Optional[float] = None
         if source.base is None:
             rows_out = cardinality * self._selectivity_of(source)
@@ -478,7 +497,9 @@ class StagePlanner:
             float(self._bytes(source.base)), fetch_pages)
         index_seconds = (probe_seconds + disk.random_service_time
                          + fetch_io + fetch_hit
-                         + self._tuple_seconds(cardinality))
+                         + self._tuple_seconds(cardinality)
+                         + self._delta_probe_seconds(
+                             cardinality, self._delta_depth(source.base)))
         if self._scan_backable_base(source):
             scan_seconds = probe_seconds + self._scan_stage_seconds(
                 source.base, probes=cardinality, fanout=1.0)
@@ -524,10 +545,16 @@ class StagePlanner:
     def _scan_backable_base(self, source: SourceNode) -> bool:
         if source.base is None:
             return False
+        if self._delta_depth(source.base):
+            # A scan-built table sees only the base heap; unmerged delta
+            # records would silently vanish from the answer.
+            return False
         return self._has_loader(source.base)
 
     def _scan_backable_join(self, join: JoinNode) -> bool:
         if join.broadcast:
+            return False
+        if self._delta_depth(join.target):
             return False
         if not isinstance(self._file(join.target), PartitionedFile):
             return False
@@ -538,6 +565,14 @@ class StagePlanner:
                 return False
             return True
         return self._has_loader(join.target)
+
+    def _touches_fresh_tables(self, logical: LogicalPlan) -> bool:
+        """True when any structure in the chain has unmerged delta runs."""
+        tables = [logical.source.structure, logical.source.base]
+        for join in logical.joins:
+            tables.append(join.target)
+            tables.append(join.via_index)
+        return any(self._delta_depth(table) for table in tables)
 
     def _has_loader(self, table: str) -> bool:
         try:
@@ -568,6 +603,10 @@ class StagePlanner:
         try:
             scan_plan = to_scan_plan(logical, self.catalog)
         except JobDefinitionError:
+            scan_plan = None
+        if scan_plan is not None and self._touches_fresh_tables(logical):
+            # Pure scan plans read base heaps only; with unmerged ingest
+            # deltas anywhere in the chain they would answer stale.
             scan_plan = None
         if scan_plan is not None:
             scan_estimate = estimate_scan_plan_seconds(self.spec,

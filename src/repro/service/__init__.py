@@ -27,6 +27,7 @@ engine submission.
 
 from repro.service.gateway import (BackgroundWork, QueryGateway,
                                    ServiceTicket, background_build,
+                                   background_compaction, background_ingest,
                                    background_repair, background_scrub)
 from repro.service.scheduler import LANES, FairScheduler, QueuedRequest
 from repro.service.shedding import OverloadPolicy, ServiceDecision
@@ -37,6 +38,8 @@ __all__ = [
     "QueryGateway",
     "ServiceTicket",
     "background_build",
+    "background_compaction",
+    "background_ingest",
     "background_repair",
     "background_scrub",
     "FairScheduler",

@@ -40,8 +40,9 @@ strictly downward.
 from __future__ import annotations
 
 import logging
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Optional
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.simulation import Event
@@ -57,8 +58,13 @@ from repro.service.scheduler import LANES, FairScheduler, QueuedRequest
 from repro.service.shedding import OverloadPolicy, ServiceDecision
 from repro.service.tenants import ServiceMetrics, TenantSpec
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ingest.compaction import Compactor
+    from repro.ingest.coordinator import IngestBatch, IngestCoordinator
+
 __all__ = ["BackgroundWork", "QueryGateway", "ServiceTicket",
-           "background_build", "background_repair", "background_scrub"]
+           "background_build", "background_compaction", "background_ingest",
+           "background_repair", "background_scrub"]
 
 logger = logging.getLogger("repro.service")
 
@@ -152,13 +158,17 @@ class QueryGateway:
                  config: EngineConfig = DEFAULT_ENGINE_CONFIG, *,
                  max_concurrent: int = 4,
                  global_queue_limit: int = 64,
-                 policy: Optional[OverloadPolicy] = None) -> None:
+                 policy: Optional[OverloadPolicy] = None,
+                 decision_log_limit: int = 4096) -> None:
         if max_concurrent < 1:
             raise ExecutionError(
                 f"max_concurrent must be >= 1, got {max_concurrent}")
         if global_queue_limit < 1:
             raise ExecutionError(
                 f"global_queue_limit must be >= 1, got {global_queue_limit}")
+        if decision_log_limit < 1:
+            raise ExecutionError(
+                f"decision_log_limit must be >= 1, got {decision_log_limit}")
         self.cluster = cluster
         self.catalog = catalog
         self.engine = SmpeEngine(cluster, catalog, config)
@@ -168,8 +178,12 @@ class QueryGateway:
         self.scheduler = FairScheduler()
         self.tenants: dict[str, TenantSpec] = {}
         self.metrics: dict[str, ServiceMetrics] = {}
-        #: append-only ledger of every non-trivial serving decision
-        self.decisions: list[ServiceDecision] = []
+        #: ring-buffer ledger of recent serving decisions; long-lived
+        #: streaming gateways would otherwise grow it without bound
+        self.decisions: deque[ServiceDecision] = deque(
+            maxlen=decision_log_limit)
+        #: decisions evicted from the full ring (oldest-first)
+        self.decisions_dropped = 0
         self._running = 0
         self._ticket_seq = 0
         self._wake: Optional[Event] = None
@@ -427,6 +441,9 @@ class QueryGateway:
 
     def _decide(self, action: str, ticket: ServiceTicket,
                 reason: Optional[str]) -> None:
+        if (self.decisions.maxlen is not None
+                and len(self.decisions) == self.decisions.maxlen):
+            self.decisions_dropped += 1
         self.decisions.append(ServiceDecision(
             time=self.cluster.sim.now, action=action,
             tenant=ticket.tenant, request=ticket.name, reason=reason))
@@ -513,6 +530,51 @@ def background_scrub(worker: ScrubWorker, name: str,
         yield from worker.scrub_job(name, report)
 
     return BackgroundWork(name=f"scrub:{name}", make=make)
+
+
+def background_ingest(coordinator: "IngestCoordinator",
+                      batch: "IngestBatch") -> BackgroundWork:
+    """One staged micro-batch's delta flush as gateway background work.
+
+    Dispatch charges the flush on the shared timeline and commits the
+    batch's delta runs if every affected partition checkpointed (a node
+    crash mid-flush leaves the batch BUILDING with its checkpoints, so a
+    resubmitted copy pays only the remainder).  A no-op at dispatch time
+    if the batch already committed — shed-then-resubmit stays idempotent.
+    """
+    if coordinator.cluster is None:
+        raise ExecutionError("background_ingest needs a clustered "
+                             "coordinator")
+
+    def make() -> Generator:
+        if batch.committed:
+            return
+        yield from coordinator.flush_job(batch)
+
+    return BackgroundWork(
+        name=f"ingest:{batch.micro.file_name}#{batch.batch_id}", make=make)
+
+
+def background_compaction(compactor: "Compactor", file_name: str,
+                          tier: str) -> BackgroundWork:
+    """One tiered delta→base compaction as gateway background work.
+
+    A no-op at dispatch time if the runs were already folded (by an
+    earlier queued copy, or by a policy-driven inline pass), so
+    duplicate submissions are harmless; a crash mid-major-compaction
+    keeps its per-partition checkpoints in the delta registry.
+    """
+    if compactor.cluster is None:
+        raise ExecutionError("background_compaction needs a clustered "
+                             "compactor")
+
+    def make() -> Generator:
+        depth = compactor.catalog.delta_depth(file_name)
+        if depth == 0 or (tier == "minor" and depth <= 1):
+            return
+        yield from compactor.compaction_job(file_name, tier)
+
+    return BackgroundWork(name=f"compact-{tier}:{file_name}", make=make)
 
 
 def background_repair(worker: ScrubWorker, name: str) -> BackgroundWork:

@@ -42,6 +42,20 @@ class HeapFile:
             self._key_map.setdefault(key, []).append(slot)
         return slot
 
+    def alias(self, key: Any, slot: int) -> None:
+        """Register an additional logical key for an existing slot.
+
+        Used by delta→base compaction to keep synthetic delta-record
+        addresses (ingest tags) resolvable after their run is folded
+        into the heap: queries in flight across the fold still hold
+        index entries targeting the tags.  Costs one key-map entry, no
+        bytes.
+        """
+        if not 0 <= slot < len(self._records):
+            raise RecordNotFound(
+                f"slot {slot} out of range in heap {self.name!r}")
+        self._key_map.setdefault(key, []).append(slot)
+
     def get(self, slot: int) -> Record:
         """Fetch by physical slot."""
         if not 0 <= slot < len(self._records):

@@ -167,6 +167,33 @@ class TestAdmission:
             gateway.submit("t", make_job(), deadline=0.0)
 
 
+class TestDecisionLog:
+    """Satellite regression: the decision ledger is a bounded ring
+    buffer — open-loop streaming traffic must not grow it forever."""
+
+    def test_ring_buffer_drops_oldest_and_counts(self, catalog):
+        cluster, gateway = make_gateway(catalog, decision_log_limit=5)
+        gateway.register(TenantSpec("t"))
+        tickets = [gateway.submit("t", make_job(k)) for k in range(8)]
+        drain(cluster, tickets)
+        # Every admit was logged, but only the newest five survive.
+        assert len(gateway.decisions) == 5
+        assert gateway.decisions_dropped == 3
+        names = [d.request for d in gateway.decisions]
+        assert names == [f"q{k}" for k in range(3, 8)]
+
+    def test_default_limit_keeps_everything_small_scale(self, catalog):
+        cluster, gateway = make_gateway(catalog)
+        gateway.register(TenantSpec("t"))
+        drain(cluster, [gateway.submit("t", make_job(k)) for k in range(4)])
+        assert len(gateway.decisions) == 4
+        assert gateway.decisions_dropped == 0
+
+    def test_invalid_limit_rejected(self, catalog):
+        with pytest.raises(ExecutionError):
+            make_gateway(catalog, decision_log_limit=0)
+
+
 class TestDeadlines:
     def test_deadline_expires_in_queue(self, catalog):
         cluster, gateway = make_gateway(catalog, max_concurrent=1)

@@ -162,3 +162,29 @@ class TestServeCommand:
                      "--maintenance"]) == 0
         out = capsys.readouterr().out
         assert "idx_event state after serving: READY" in out
+
+
+class TestIngestCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["ingest"])
+        assert args.duration == 2.0
+        assert args.nodes == 4
+        assert args.sensors == 64
+        assert args.batch_size == 100
+        assert args.policy == "lazy"
+
+    def test_ingest_streams_and_reports_watermark(self, capsys):
+        assert main(["ingest", "--duration", "0.5", "--sensors", "16",
+                     "--batch-size", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Streaming 8 batches/s" in out
+        assert "analyst" in out
+        assert "sensors" in out
+        assert "watermark: committed_through=" in out
+        assert "query freshness:" in out
+
+    def test_ingest_no_compaction_accumulates_runs(self, capsys):
+        assert main(["ingest", "--duration", "0.5", "--sensors", "16",
+                     "--batch-size", "20", "--policy", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "minor=0 major=0" in out
