@@ -1,0 +1,130 @@
+"""Extension: vectorized batch execution kernel, wall-clock amortization.
+
+The batch kernel (``engine/access.py``) turns the per-record dereference
+funnel into columnar batch dispatch: one buffer-pool walk over the
+*unique* pages of a batch, one network round trip per remote owner, one
+delta-run consultation, and one schema-on-read dispatch per batch.  In
+the discrete-event simulator every one of those used to be a separate
+simulated event per record, so batching collapses the event count — and
+with it the *wall-clock* cost of simulating a fixed workload — while
+``batch_size=1`` stays bit-identical to the historical per-record path.
+
+Run::
+
+    pytest benchmarks/bench_ext_batch.py --benchmark-only
+
+``test_ext_batch_regenerate`` sweeps ``batch_size`` over the Figure-7
+Q5' workload on both cluster engines, prints simulated IO alongside
+measured wall-clock, saves ``benchmarks/results/ext_batch.txt``, and
+asserts the headline claim: batching makes simulating Q5' at least 5x
+faster (2x in CI quick mode) with exactly the per-record answer.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.bench import SweepTable, format_factor, format_seconds
+from repro.config import EngineConfig
+from repro.engine import ReDeExecutor
+from repro.queries import TpchWorkload, canonical_q5_rows_rede
+
+#: CI smoke mode: shrink the workload and skip overwriting saved results
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+SCALE_FACTOR = 0.002 if QUICK else 0.004
+NUM_NODES = 8
+REGION = "ASIA"
+SELECTIVITY = 0.2
+SCAN_SECONDS = 0.25
+BATCH_SIZES = (1, 8, 64) if QUICK else (1, 8, 64, 256)
+#: best-of-N wall-clock per point, to damp interpreter jitter
+ROUNDS = 1 if QUICK else 3
+MIN_SPEEDUP = 2.0 if QUICK else 5.0
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return TpchWorkload(scale_factor=SCALE_FACTOR, seed=1,
+                        num_nodes=NUM_NODES, block_size=256 * 1024)
+
+
+def run_once(workload, mode, batch_size):
+    low, high = workload.date_range(SELECTIVITY)
+    executor = ReDeExecutor(
+        workload.make_cluster(scan_seconds=SCAN_SECONDS),
+        workload.catalog, config=EngineConfig(batch_size=batch_size),
+        mode=mode)
+    start = time.perf_counter()
+    result = executor.execute(workload.q5_job(low, high, REGION))
+    return result, time.perf_counter() - start
+
+
+def run_sweep(workload):
+    measurements = {}
+    for mode in ("partitioned", "smpe"):
+        baseline_rows = None
+        for batch_size in BATCH_SIZES:
+            best_wall = None
+            for __ in range(ROUNDS):
+                result, wall = run_once(workload, mode, batch_size)
+                best_wall = wall if best_wall is None else min(best_wall,
+                                                               wall)
+            rows = canonical_q5_rows_rede(result)
+            if baseline_rows is None:
+                baseline_rows = rows
+            assert rows == baseline_rows, (
+                f"{mode} batch_size={batch_size} changed the answer")
+            m = result.metrics
+            measurements[(mode, batch_size)] = {
+                "wall": best_wall,
+                "sim": m.elapsed_seconds,
+                "reads": m.random_reads,
+                "accesses": m.record_accesses,
+                "fill": m.batch_fill,
+            }
+    return measurements
+
+
+def test_ext_batch_regenerate(benchmark, show, save_result, workload):
+    sweep = benchmark.pedantic(run_sweep, args=(workload,),
+                               iterations=1, rounds=1)
+
+    table = SweepTable(
+        title="Batch execution kernel: Q5' wall-clock vs batch_size "
+              f"(SF={SCALE_FACTOR}, {NUM_NODES} nodes, "
+              f"selectivity {SELECTIVITY}, best of {ROUNDS})",
+        columns=["engine", "batch", "fill", "random reads", "accesses",
+                 "simulated", "wall-clock", "wall speedup"])
+    speedups = {}
+    for (mode, batch_size), m in sweep.items():
+        base = sweep[(mode, 1)]
+        speedup = base["wall"] / m["wall"]
+        if batch_size > 1:
+            speedups[(mode, batch_size)] = speedup
+        table.add_row(
+            mode, batch_size, round(m["fill"], 2), m["reads"],
+            m["accesses"], format_seconds(m["sim"]),
+            format_seconds(m["wall"]),
+            format_factor(speedup) if batch_size > 1 else "--")
+    table.add_note("identical canonical Q5' rows at every batch size; "
+                   "random reads shrink via page-walk dedup; wall-clock "
+                   "shrinks because every amortized charge is one "
+                   "simulated event instead of one per record")
+    show(table)
+    if not QUICK:
+        save_result("ext_batch", table)
+
+    # Headline claim: batching accelerates the simulation itself.
+    best = max(speedups.values())
+    assert best >= MIN_SPEEDUP, (
+        f"best wall-clock speedup {best:.2f}x < {MIN_SPEEDUP}x")
+
+    # Batched IO never exceeds per-record IO, per engine.
+    for mode in ("partitioned", "smpe"):
+        for batch_size in BATCH_SIZES[1:]:
+            assert (sweep[(mode, batch_size)]["reads"]
+                    <= sweep[(mode, 1)]["reads"])
+            assert (sweep[(mode, batch_size)]["accesses"]
+                    == sweep[(mode, 1)]["accesses"])

@@ -50,6 +50,9 @@ def build_parser() -> argparse.ArgumentParser:
     fig7.add_argument("--cache-policy", choices=("lru", "clock", "2q"),
                       default="lru",
                       help="buffer-pool eviction policy (default lru)")
+    fig7.add_argument("--batch-size", type=int, default=1,
+                      help="dereference batch size for the ReDe engines "
+                           "(default 1 = per-record dispatch)")
 
     fig9 = commands.add_parser("fig9",
                                help="regenerate the Figure 9 comparison")
@@ -70,6 +73,9 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--execute", action="store_true",
                       help="also run the chosen plan and report its "
                            "simulated runtime")
+    plan.add_argument("--batch-size", type=int, default=1,
+                      help="dereference batch size for execution "
+                           "(default 1 = per-record dispatch)")
 
     chaos = commands.add_parser(
         "chaos",
@@ -142,6 +148,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--maintenance", action="store_true",
                        help="also submit background index builds on the "
                             "maintenance lane")
+    serve.add_argument("--batch-size", type=int, default=1,
+                       help="dereference batch size for the serving "
+                            "engine (default 1 = per-record dispatch)")
 
     ingest = commands.add_parser(
         "ingest",
@@ -211,12 +220,17 @@ def _run_demo_inline() -> int:
 
 
 def cmd_fig7(scale: float, nodes: int, cache_mb: float = 0.0,
-             cache_policy: str = "lru") -> int:
+             cache_policy: str = "lru", batch_size: int = 1) -> int:
+    from repro.config import EngineConfig
+
     workload = TpchWorkload(scale_factor=scale, seed=1, num_nodes=nodes,
                             block_size=256 * 1024)
+    config = EngineConfig(batch_size=batch_size)
     cache_bytes = int(cache_mb * 1024 * 1024)
     caption = (f", cache {cache_mb:g}MiB/{cache_policy}" if cache_bytes
                else "")
+    if batch_size > 1:
+        caption += f", batch {batch_size}"
     table = SweepTable(
         title=f"Figure 7 (SF={scale}, {nodes} nodes{caption})",
         columns=["selectivity", "Impala-like", "ReDe w/o SMPE",
@@ -232,12 +246,13 @@ def cmd_fig7(scale: float, nodes: int, cache_mb: float = 0.0,
             workload.make_cluster(scan_seconds=0.25,
                                   cache_bytes=cache_bytes,
                                   cache_policy=cache_policy),
-            workload.catalog, mode="smpe").execute(job)
+            workload.catalog, config=config, mode="smpe").execute(job)
         part = ReDeExecutor(
             workload.make_cluster(scan_seconds=0.25,
                                   cache_bytes=cache_bytes,
                                   cache_policy=cache_policy),
-            workload.catalog, mode="partitioned").execute(job)
+            workload.catalog, config=config,
+            mode="partitioned").execute(job)
         assert canonical_q5_rows_rede(smpe) == canonical_q5_rows_scan(scan)
         hit_totals += smpe.metrics.cache_hits + part.metrics.cache_hits
         miss_totals += smpe.metrics.cache_misses + part.metrics.cache_misses
@@ -389,15 +404,17 @@ def cmd_scrub(scale: float, nodes: int, seed: int, corruption: float,
 
 
 def cmd_plan(scale: float, nodes: int, selectivity: float,
-             execute: bool) -> int:
+             execute: bool, batch_size: int = 1) -> int:
     """Print the per-stage planner's decision table for Q5′."""
+    from repro.config import EngineConfig
     from repro.engine import PlanningExecutor
 
     workload = TpchWorkload(scale_factor=scale, seed=1, num_nodes=nodes,
                             block_size=256 * 1024)
     spec = workload.make_cluster(scan_seconds=0.25).spec
     executor = PlanningExecutor(workload.catalog, workload.blockstore,
-                                spec)
+                                spec,
+                                config=EngineConfig(batch_size=batch_size))
     low, high = workload.date_range(selectivity)
     logical = workload.q5_chain(low, high).logical_plan()
     planned = executor.plan(logical)
@@ -414,12 +431,12 @@ def cmd_plan(scale: float, nodes: int, selectivity: float,
 
 def cmd_serve(rate: float, duration: float, nodes: int, tenants: int,
               slots: int, queue_limit: int, deadline: Optional[float],
-              seed: int, maintenance: bool) -> int:
+              seed: int, maintenance: bool, batch_size: int = 1) -> int:
     """Open-loop Poisson traffic through the query gateway."""
     import random
 
     from repro.cluster import Cluster
-    from repro.config import laptop_cluster_spec
+    from repro.config import EngineConfig, laptop_cluster_spec
     from repro.core import (
         AccessMethodDefinition,
         ChainQuery,
@@ -447,7 +464,9 @@ def cmd_serve(rate: float, duration: float, nodes: int, tenants: int,
         key_field="event_id", scope="global"))
 
     cluster = Cluster(laptop_cluster_spec(nodes))
-    gateway = QueryGateway(cluster, catalog, max_concurrent=slots,
+    gateway = QueryGateway(cluster, catalog,
+                           EngineConfig(batch_size=batch_size),
+                           max_concurrent=slots,
                            global_queue_limit=queue_limit)
     sim = cluster.sim
     tickets = []
@@ -664,14 +683,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_demo_inline()
     if args.command == "fig7":
         return cmd_fig7(args.scale, args.nodes, args.cache_mb,
-                        args.cache_policy)
+                        args.cache_policy, args.batch_size)
     if args.command == "fig9":
         return cmd_fig9(args.claims)
     if args.command == "inventory":
         return cmd_inventory()
     if args.command == "plan":
         return cmd_plan(args.scale, args.nodes, args.selectivity,
-                        args.execute)
+                        args.execute, args.batch_size)
     if args.command == "chaos":
         return cmd_chaos(args.scale, args.nodes, args.seed, args.rate,
                          args.drop_rate, args.policy, args.max_retries,
@@ -682,7 +701,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "serve":
         return cmd_serve(args.rate, args.duration, args.nodes,
                          args.tenants, args.slots, args.queue_limit,
-                         args.deadline, args.seed, args.maintenance)
+                         args.deadline, args.seed, args.maintenance,
+                         args.batch_size)
     if args.command == "ingest":
         return cmd_ingest(args.duration, args.nodes, args.sensors,
                           args.batch_size, args.batch_rate,

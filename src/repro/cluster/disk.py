@@ -114,6 +114,39 @@ class Disk:
         finally:
             self._spindles.release()
 
+    def random_read_batch(self, count: int, nbytes: int = 0) -> Generator:
+        """Process helper: ``count`` random reads dispatched as one batch.
+
+        The batched access funnel's disk model: the batch holds a single
+        spindle slot and pays ``ceil(count / spindles)`` service times —
+        the array streams the batch across all spindles, so ``spindles``
+        reads complete per service interval.  Accounting still records
+        every read (op count and bytes), keeping IO totals reconcilable
+        with the per-read path.  Holding one slot (instead of ``count``)
+        also avoids self-deadlock when a batch exceeds the spindle count.
+        One fault draw covers the whole batch: a transient error fails
+        the batch as a unit, after its service time is paid.
+        """
+        if count <= 0:
+            return
+        self._check_alive()
+        yield self._spindles.request()
+        try:
+            self.random_reads += count
+            self.bytes_read += (nbytes if nbytes > 0
+                                else count * self.spec.page_size)
+            rounds = -(-count // self.spec.spindles)
+            yield self.sim.timeout(
+                rounds * self.spec.random_service_time
+                * self._service_factor())
+            self._check_alive()
+            if (self.faults is not None and self.node is not None
+                    and self.faults.draw_io_fault(self.node.node_id)):
+                raise TransientIOError(
+                    f"transient IO error on {self._spindles.name}")
+        finally:
+            self._spindles.release()
+
     def sequential_read(self, nbytes: int) -> Generator:
         """Process helper: scan ``nbytes`` at full array bandwidth.
 

@@ -263,6 +263,10 @@ class Store:
             self._getters.append(event)
         return event
 
+    def __len__(self) -> int:
+        """Items currently queued (consumers blocked in ``get`` see 0)."""
+        return len(self._items)
+
     def drain(self) -> list[Any]:
         """Remove and return every queued item (blocked getters stay blocked).
 

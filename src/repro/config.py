@@ -136,6 +136,14 @@ class EngineConfig:
         cache_policy: eviction policy for engine-provisioned pools.
         cache_hit_time: RAM service time charged for a buffer-pool hit
             (kept non-zero so a fully-cached dereference still yields).
+        batch_size: records/pointers dispatched per dereference batch.
+            1 (the default) keeps the per-record reference path —
+            bit-identical to the pre-batching engines and the baseline
+            equivalence tests rely on.  Larger values route stages
+            through the vectorized batch kernel: same-(file, partition)
+            targets are grouped and charged per batch (page walks
+            deduplicated, one network round trip per remote owner per
+            batch, delta runs merged once per batch).
     """
 
     thread_pool_size: int = 1000
@@ -152,6 +160,7 @@ class EngineConfig:
     cache_bytes: int = 0
     cache_policy: str = "lru"
     cache_hit_time: float = 25e-6
+    batch_size: int = 1
 
     def __post_init__(self) -> None:
         if self.on_error not in ("fail", "retry", "skip"):
@@ -171,6 +180,8 @@ class EngineConfig:
                 f"got {self.cache_policy!r}")
         if self.cache_hit_time < 0:
             raise ValueError("cache_hit_time must be >= 0")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
 
 
 DEFAULT_ENGINE_CONFIG = EngineConfig()

@@ -311,7 +311,14 @@ class StructureCatalog:
     # -- building --------------------------------------------------------
 
     def ensure_built(self, name: str) -> BtreeFile:
-        """Materialize an index if needed; returns it."""
+        """Materialize an index if needed; returns it.
+
+        On a lake with unmerged streaming deltas, the build (which scans
+        the base heap only) is followed by a delta backfill: every
+        committed base run is mirrored into an index delta run, so a
+        structure materialized mid-stream serves fresh probes exactly
+        like one that was maintained from the first commit.
+        """
         if self._states.get(name) is StructureState.READY or name in self.dfs:
             return self.dfs.get_index(name)
         definition = self.definition(name)
@@ -319,10 +326,68 @@ class StructureCatalog:
         self._states[name] = StructureState.READY
         self._checkpoints.pop(name, None)
         self.build_log.append(name)
+        self._backfill_deltas(definition, index)
         logger.info("built %s index %r on %r (%d entries)",
                     definition.scope, name, definition.base_file,
                     len(index))
         return index
+
+    def _backfill_deltas(self, definition: AccessMethodDefinition,
+                         index: BtreeFile) -> None:
+        """Mirror committed base delta runs into runs for a structure
+        built after streaming began.
+
+        The heap the build scanned holds no delta records, and upserted
+        heap versions are still physically present (compaction is what
+        rewrites heaps) — so the freshly built tree both misses live
+        delta records and indexes stale versions.  Registering one index
+        run per base run, with the same entries, upserts, and heap
+        tombstones the ingest commit would have produced, closes both
+        gaps.
+        """
+        registry = self._delta_registry
+        if registry is None:
+            return
+        base_runs = registry.runs(definition.base_file)
+        if not base_runs:
+            return
+        from repro.ingest.delta import DeltaRun, index_placements
+        from repro.storage.files import IndexEntry
+
+        base = self.dfs.get_base(definition.base_file)
+        loader = self.dfs.loader_info(definition.base_file)
+        for run in base_runs:
+            index_run = DeltaRun(definition.name, definition.base_file,
+                                 run.batch_id, run.commit_time)
+            for pid in run.partitions():
+                for key, payload, origin, tag in run.items(pid):
+                    partition_key = loader.partition_key_fn(payload)
+                    for index_key in definition.extract_keys(payload):
+                        entry = IndexEntry(index_key, partition_key, tag)
+                        for ipid in index_placements(
+                                definition, index, partition_key,
+                                index_key):
+                            index_run.add(ipid, index_key, entry, origin)
+            tombstones: dict[int, set] = {}
+            for pid, keys in run.upserts.items():
+                heap = base.partitions[pid]
+                for key in keys:
+                    for slot in heap.slots_for_key(key):
+                        old = heap.get(slot)
+                        old_pk = loader.partition_key_fn(old)
+                        for old_key in definition.extract_keys(old):
+                            triple = (old_key, old_pk, slot)
+                            for ipid in index_placements(
+                                    definition, index, old_pk, old_key):
+                                tombstones.setdefault(ipid, set()).add(
+                                    triple)
+            index_run.upserts = run.upserts
+            index_run.tombstones = {
+                pid: frozenset(triples)
+                for pid, triples in tombstones.items()}
+            registry.register(index_run.seal())
+        logger.info("backfilled %d delta runs into freshly built %r",
+                    len(base_runs), definition.name)
 
     def build_all(self) -> list[str]:
         """Materialize every pending index; returns the names built."""

@@ -48,6 +48,17 @@ class Interpreter(abc.ABC):
         """Convenience: one field of the interpreted view."""
         return self.interpret(record).get(name, default)
 
+    def interpret_batch(self, records: Sequence[Record]
+                        ) -> list[Mapping[str, Any]]:
+        """Interpret a whole batch in one dispatch.
+
+        The default loops over :meth:`interpret`, so any subclass is
+        batch-correct for free; the built-in interpreters override it to
+        amortize attribute lookups and per-record call overhead across
+        the batch (Section III-B's schema-on-read, paid once per batch).
+        """
+        return [self.interpret(record) for record in records]
+
 
 class MappingInterpreter(Interpreter):
     """The trivial interpretation for records that already carry mappings.
@@ -60,6 +71,12 @@ class MappingInterpreter(Interpreter):
         if isinstance(record.data, Mapping):
             return record.data
         return {}
+
+    def interpret_batch(self, records: Sequence[Record]
+                        ) -> list[Mapping[str, Any]]:
+        empty: Mapping[str, Any] = {}
+        return [record.data if isinstance(record.data, Mapping) else empty
+                for record in records]
 
 
 class DelimitedTextInterpreter(Interpreter):
@@ -86,6 +103,25 @@ class DelimitedTextInterpreter(Interpreter):
             fields[name] = converter(raw) if converter else raw
         return fields
 
+    def interpret_batch(self, records: Sequence[Record]
+                        ) -> list[Mapping[str, Any]]:
+        # Hoist the per-field converter resolution out of the record loop:
+        # the (name, converter) schedule is identical for every record in
+        # the batch, which is the whole amortization argument.
+        schedule = [(name, self.types.get(name))
+                    for name in self.field_names]
+        delimiter = self.delimiter
+        views: list[Mapping[str, Any]] = []
+        for record in records:
+            if not isinstance(record.data, str):
+                views.append({})
+                continue
+            parts = record.data.split(delimiter)
+            views.append({
+                name: (converter(raw) if converter else raw)
+                for (name, converter), raw in zip(schedule, parts)})
+        return views
+
 
 class FunctionInterpreter(Interpreter):
     """Wraps an arbitrary ``Record -> Mapping`` function.
@@ -110,6 +146,17 @@ class Filter(abc.ABC):
     def matches(self, record: Record, context: Context) -> bool:
         """True if the record survives the filter."""
 
+    def matches_batch(self, records: Sequence[Record],
+                      context: Context) -> list[bool]:
+        """One verdict per record, evaluated in one dispatch.
+
+        The context is constant across the batch (all records of one
+        dereference share their carried join context), which is what the
+        vectorized overrides exploit.  The default loops over
+        :meth:`matches`, so external subclasses stay batch-correct.
+        """
+        return [self.matches(record, context) for record in records]
+
 
 class PredicateFilter(Filter):
     """Wraps a plain ``(record, context) -> bool`` function."""
@@ -121,6 +168,11 @@ class PredicateFilter(Filter):
 
     def matches(self, record: Record, context: Context) -> bool:
         return bool(self._fn(record, context))
+
+    def matches_batch(self, records: Sequence[Record],
+                      context: Context) -> list[bool]:
+        fn = self._fn
+        return [bool(fn(record, context)) for record in records]
 
 
 class FieldRangeFilter(Filter):
@@ -143,6 +195,18 @@ class FieldRangeFilter(Filter):
             return False
         return True
 
+    def matches_batch(self, records: Sequence[Record],
+                      context: Context) -> list[bool]:
+        field, low, high = self.field, self.low, self.high
+        verdicts = []
+        for view in self.interpreter.interpret_batch(records):
+            value = view.get(field)
+            verdicts.append(
+                value is not None
+                and not (low is not None and value < low)
+                and not (high is not None and value > high))
+        return verdicts
+
 
 class FieldEqualsFilter(Filter):
     """Keeps records whose interpreted field equals a constant."""
@@ -155,6 +219,12 @@ class FieldEqualsFilter(Filter):
 
     def matches(self, record: Record, context: Context) -> bool:
         return self.interpreter.field(record, self.field) == self.value
+
+    def matches_batch(self, records: Sequence[Record],
+                      context: Context) -> list[bool]:
+        field, value = self.field, self.value
+        return [view.get(field) == value
+                for view in self.interpreter.interpret_batch(records)]
 
 
 class ContextMatchFilter(Filter):
@@ -177,6 +247,16 @@ class ContextMatchFilter(Filter):
         return (self.interpreter.field(record, self.field)
                 == context[self.context_key])
 
+    def matches_batch(self, records: Sequence[Record],
+                      context: Context) -> list[bool]:
+        # The carried context is one value for the whole batch, so the
+        # membership test is paid once instead of once per record.
+        if self.context_key not in context:
+            return [False] * len(records)
+        field, expected = self.field, context[self.context_key]
+        return [view.get(field) == expected
+                for view in self.interpreter.interpret_batch(records)]
+
 
 class AndFilter(Filter):
     """Conjunction of filters; matches only if every part matches."""
@@ -186,3 +266,25 @@ class AndFilter(Filter):
 
     def matches(self, record: Record, context: Context) -> bool:
         return all(f.matches(record, context) for f in self.filters)
+
+    def matches_batch(self, records: Sequence[Record],
+                      context: Context) -> list[bool]:
+        # Short-circuiting conjunction over masks: each sub-filter only
+        # sees the records still alive, mirroring the per-record `all()`.
+        verdicts = [True] * len(records)
+        alive = list(records)
+        alive_idx = list(range(len(records)))
+        for part in self.filters:
+            if not alive:
+                break
+            mask = part.matches_batch(alive, context)
+            next_alive = []
+            next_idx = []
+            for record, index, ok in zip(alive, alive_idx, mask):
+                if ok:
+                    next_alive.append(record)
+                    next_idx.append(index)
+                else:
+                    verdicts[index] = False
+            alive, alive_idx = next_alive, next_idx
+        return verdicts

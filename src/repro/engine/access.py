@@ -60,9 +60,13 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 __all__ = ["resolve_partitions", "initial_probe_pids",
            "simulated_dereference", "resilient_dereference",
            "recovering_dereference", "count_only_dereference",
+           "batched_dereference", "resilient_dereference_batch",
+           "recovering_dereference_batch", "count_only_dereference_batch",
            "classify_failure", "stamp_watermark"]
 
 Target = Union[Pointer, PointerRange]
+#: one batched work item: (target, carried context)
+Probe = tuple[Target, Any]
 
 
 def resolve_partitions(file: File, target: Target,
@@ -269,14 +273,22 @@ def _scan_stage_build(cluster: Cluster, metrics: ExecutionMetrics,
     its share of the table to peers — the cost shape of a grace hash
     join's build side.  Concurrent probes wait on the build event;
     later probes see ``ready`` and pay nothing.
+
+    On a fresh table (unmerged ingest delta runs), each node also reads
+    its share of the delta bytes and spends build CPU on the delta rows;
+    the build is keyed by the run set, so a newly committed run makes
+    the next probe rebuild (and re-pay) the table.
     """
+    token = dereferencer.delta_token()
     state = dereferencer.runtime.setdefault(id(cluster), {})
-    if state.get("ready"):
+    if state.get("ready") and state.get("token") == token:
         return
     event = state.get("event")
-    if event is not None:
+    if event is not None and state.get("token") == token:
         yield event
         return
+    state["token"] = token
+    state["ready"] = False
     event = cluster.sim.event()
     state["event"] = event
 
@@ -284,9 +296,13 @@ def _scan_stage_build(cluster: Cluster, metrics: ExecutionMetrics,
         serving = cluster.serving_node(node_id)
         node = cluster.node(serving)
         nbytes = rows = 0
-        for pid in file.partitions_on_node(node_id):
+        pids = file.partitions_on_node(node_id)
+        for pid in pids:
             nbytes += file.partition_bytes(pid)
             rows += sum(1 for __ in file.scan_partition(pid))
+        delta_bytes, delta_rows = dereferencer.delta_bytes_on(file, pids)
+        nbytes += delta_bytes
+        rows += delta_rows
         if nbytes:
             yield from node.disk.sequential_read(nbytes)
         if rows:
@@ -298,12 +314,14 @@ def _scan_stage_build(cluster: Cluster, metrics: ExecutionMetrics,
                 yield from cluster.network.transfer(
                     serving, (serving + 1) % cluster.num_nodes, shipped)
 
+    all_pids = list(range(file.num_partitions))
+    delta_total, __ = dereferencer.delta_bytes_on(file, all_pids)
     procs = [cluster.launch(build_on(n), name=f"scan-stage@{n}")
              for n in range(cluster.num_nodes)]
     yield cluster.sim.all_of(procs)
     dereferencer.table_for(file)
     metrics.scan_stage_builds += 1
-    metrics.scan_stage_bytes += file.total_bytes
+    metrics.scan_stage_bytes += file.total_bytes + delta_total
     state["ready"] = True
     event.succeed()
 
@@ -633,8 +651,9 @@ def _has_deltas(catalog: Optional["StructureCatalog"], dereferencer: Any,
 
     On a static lake (no registry, or zero runs for this structure) this
     is False for every probe, keeping the whole delta path a strict
-    no-op.  Scan-backed stages never merge deltas — the planner refuses
-    to emit them for structures with pending runs.
+    no-op.  Scan-backed stages are excluded: their hash table is itself
+    delta-merged at build time (newest-wins, rebuilt when a run
+    commits), so a per-probe merge would double-count.
     """
     return (catalog is not None
             and not isinstance(dereferencer, ScanLookupDereferencer)
@@ -840,8 +859,10 @@ def count_only_dereference(metrics: ExecutionMetrics, stage: int,
         first_probe = not dereferencer.has_table(file)
         records = dereferencer.fetch(file, target, partition_id)
         if first_probe:
+            delta_bytes, __ = dereferencer.delta_bytes_on(
+                file, list(range(file.num_partitions)))
             metrics.scan_stage_builds += 1
-            metrics.scan_stage_bytes += file.total_bytes
+            metrics.scan_stage_bytes += file.total_bytes + delta_bytes
         metrics.count_fetch(stage, len(records), False, 0)
         return dereferencer.apply_filter(records, context)
     records = dereferencer.fetch(file, target, partition_id)
@@ -855,3 +876,369 @@ def count_only_dereference(metrics: ExecutionMetrics, stage: int,
             metrics, dereferencer, file, target, partition_id, context,
             catalog.delta_runs(file.name), records)
     return records
+
+
+# --------------------------------------------------------------------------
+# The batched access funnel
+#
+# Same-(file, partition) targets grouped by the engines are dispatched as
+# one batch, with per-batch simulated cost (the documented charging rules):
+#
+# * **page walks dedupe across the batch**: each unique page is consulted
+#   against the buffer pool once; all hits cost one combined RAM timeout,
+#   all misses one :meth:`Disk.random_read_batch` (a single spindle slot
+#   for ``ceil(misses / spindles)`` service times, every read accounted);
+# * **uncached fetches amortize**: a B-tree batch pays one shared interior
+#   walk plus the leaf pages of the *combined* result
+#   (``probe_io_count(total)``); a heap batch pays the pages the combined
+#   record bytes span;
+# * **one network round trip per batch per remote owner**: request bytes
+#   are ``pointer_bytes * len(batch)``, response bytes the combined
+#   records;
+# * **CPU charged per batch, sliver per record**: one ``process_tuples``
+#   call over the combined record count;
+# * **delta runs merge once per batch**: the merge consults each unmerged
+#   run once (one batched read), not once per probe;
+# * **one fault draw / corruption check sweep per batch**: a transient
+#   fault or checksum failure fails (and retries) the batch as a unit.
+#
+# ``batch_size=1`` never reaches these functions — the engines route it
+# through the per-record path above, which stays bit-identical.
+# --------------------------------------------------------------------------
+
+
+def batched_dereference(cluster: Cluster, config: EngineConfig,
+                        metrics: ExecutionMetrics, stage: int,
+                        dereferencer: Dereferencer, file: File,
+                        probes: Sequence[Probe], partition_id: int,
+                        executing_node: int) -> Iterator:
+    """Process generator: one batch of dereferences against one partition.
+
+    Returns one filtered record list per probe, in probe order."""
+    if isinstance(dereferencer, ScanLookupDereferencer):
+        outputs = yield from _scan_stage_dereference_batch(
+            cluster, config, metrics, stage, dereferencer, file, probes,
+            partition_id, executing_node)
+        return outputs
+    home = file.node_of(partition_id)
+    owner = cluster.serving_node(home)
+    start_time = cluster.sim.now
+    fetched = [dereferencer.fetch(file, target, partition_id)
+               for target, __ in probes]
+    total_records = sum(len(records) for records in fetched)
+    is_index = isinstance(file, BtreeFile)
+    owner_disk = cluster.node(owner).disk
+    page_size = owner_disk.spec.page_size
+
+    injector = cluster.faults
+    check = injector is not None and injector.has_corruption
+
+    pool = cluster.node(owner).buffer_pool
+    page_lists: Optional[list] = None
+    if pool is not None and pool.enabled:
+        page_lists = [_probe_page_ids(file, target, partition_id, page_size)
+                      for target, __ in probes]
+        if any(pages is None for pages in page_lists):
+            page_lists = None
+    hits = misses = 0
+    if page_lists is not None:
+        # Page walks dedupe across the batch: each unique page consults
+        # the pool once, in first-touch order.
+        unique = dict.fromkeys(
+            page for pages in page_lists for page in pages)
+        to_read = []
+        for page in unique:
+            if pool.lookup(page):
+                hits += 1
+                metrics.cache_hits += 1
+            else:
+                misses += 1
+                metrics.cache_misses += 1
+                to_read.append(page)
+        if hits and config.cache_hit_time > 0:
+            yield cluster.sim.timeout(hits * config.cache_hit_time)
+        if misses:
+            yield from owner_disk.random_read_batch(misses)
+            # only reads that completed populate the cache
+            for page in to_read:
+                pool.insert(page, page_size)
+        if check:
+            for page in unique:
+                if injector.page_corrupt(home, page):
+                    raise _corruption_error(file, page)
+        metrics.count_fetch(stage, total_records, is_index, misses)
+    else:
+        all_records = [r for records in fetched for r in records]
+        reads = _fetch_cost_reads(file, all_records, page_size)
+        metrics.count_fetch(stage, total_records, is_index, reads)
+        if reads:
+            yield from owner_disk.random_read_batch(reads)
+        if check:
+            seen = set()
+            for target, __ in probes:
+                for page in (_probe_page_ids(file, target, partition_id,
+                                             page_size) or ()):
+                    if page in seen:
+                        continue
+                    seen.add(page)
+                    if injector.page_corrupt(home, page):
+                        raise _corruption_error(file, page)
+
+    if owner != executing_node:
+        response_bytes = sum(r.size_bytes for records in fetched
+                             for r in records)
+        request_bytes = config.pointer_bytes * len(probes)
+        metrics.count_remote(request_bytes + response_bytes)
+        yield from cluster.network.request_response(
+            executing_node, owner, request_bytes, response_bytes)
+
+    if total_records:
+        yield from cluster.node(executing_node).process_tuples(
+            total_records)
+    metrics.count_batch(len(probes), config.batch_size)
+    if metrics.trace is not None:
+        metrics.trace.append(TraceEvent(
+            stage=stage, node=executing_node, partition=partition_id,
+            owner_node=owner, num_records=total_records,
+            start=start_time, end=cluster.sim.now,
+            cache_hits=hits, cache_misses=misses,
+            batch_size=len(probes)))
+    return [dereferencer.apply_filter(records, context)
+            for records, (__, context) in zip(fetched, probes)]
+
+
+def _scan_stage_dereference_batch(cluster: Cluster, config: EngineConfig,
+                                  metrics: ExecutionMetrics, stage: int,
+                                  dereferencer: ScanLookupDereferencer,
+                                  file: File, probes: Sequence[Probe],
+                                  partition_id: int,
+                                  executing_node: int) -> Iterator:
+    """One batch of probes against a scan-backed stage's hash table."""
+    start_time = cluster.sim.now
+    yield from _scan_stage_build(cluster, metrics, dereferencer, file)
+    fetched = [dereferencer.fetch(file, target, partition_id)
+               for target, __ in probes]
+    total_records = sum(len(records) for records in fetched)
+    metrics.count_fetch(stage, total_records, False, 0)
+    if total_records:
+        yield from cluster.node(executing_node).process_tuples(
+            total_records)
+    metrics.count_batch(len(probes), config.batch_size)
+    if metrics.trace is not None:
+        metrics.trace.append(TraceEvent(
+            stage=stage, node=executing_node, partition=partition_id,
+            owner_node=executing_node, num_records=total_records,
+            start=start_time, end=cluster.sim.now,
+            batch_size=len(probes)))
+    return [dereferencer.apply_filter(records, context)
+            for records, (__, context) in zip(fetched, probes)]
+
+
+def _timed_batched_dereference(cluster: Cluster, config: EngineConfig,
+                               metrics: ExecutionMetrics, stage: int,
+                               dereferencer: Dereferencer, file: File,
+                               probes: Sequence[Probe], partition_id: int,
+                               executing_node: int) -> Iterator:
+    """One batch attempt raced against the invocation timeout (which is
+    per dispatch, so a batch gets the same budget a single probe does)."""
+
+    def attempt():
+        try:
+            outputs = yield from batched_dereference(
+                cluster, config, metrics, stage, dereferencer, file,
+                probes, partition_id, executing_node)
+        except Exception as exc:  # captured: the waiter decides what to do
+            return ("error", exc)
+        return ("ok", outputs)
+
+    sim = cluster.sim
+    proc = sim.process(attempt(), name=f"deref-batch@{executing_node}")
+    timer = sim.timeout(config.dereference_timeout)
+    index, value = yield sim.any_of([proc, timer])
+    if index == 1:
+        raise DereferenceTimeout(
+            f"batched dereference of {file.name!r} partition "
+            f"{partition_id} ({len(probes)} probes) exceeded "
+            f"{config.dereference_timeout}s on node {executing_node}")
+    outcome, payload = value
+    if outcome == "error":
+        raise payload
+    return payload
+
+
+def resilient_dereference_batch(cluster: Cluster, config: EngineConfig,
+                                metrics: ExecutionMetrics, stage: int,
+                                dereferencer: Dereferencer, file: File,
+                                probes: Sequence[Probe], partition_id: int,
+                                executing_node: int,
+                                abort_check: Optional[Callable[[], bool]]
+                                = None) -> Iterator:
+    """Fault-tolerant batched dereference.
+
+    The batch is the retry unit: a transient fault, timeout, or crash
+    re-runs the whole batch (one fault draw covered it, so no probe's
+    result was kept).  The retry/backoff/re-route policy is exactly
+    :func:`resilient_dereference`'s."""
+    attempt = 0
+    crash_hops = 0
+    while True:
+        if abort_check is not None and abort_check():
+            return [[] for __ in probes]
+        exec_node = cluster.serving_node(executing_node)
+        try:
+            if config.dereference_timeout > 0:
+                outputs = yield from _timed_batched_dereference(
+                    cluster, config, metrics, stage, dereferencer, file,
+                    probes, partition_id, exec_node)
+            else:
+                outputs = yield from batched_dereference(
+                    cluster, config, metrics, stage, dereferencer, file,
+                    probes, partition_id, exec_node)
+            return outputs
+        except NodeCrashed as exc:
+            crash_hops += 1
+            metrics.count_fault("node-crash")
+            _trace_fault(cluster, metrics, stage, exec_node, partition_id,
+                         "fault:node-crash")
+            if crash_hops > cluster.num_nodes:
+                raise ExecutionError(
+                    f"no surviving node could serve {file.name!r} "
+                    f"partition {partition_id}") from exc
+            continue
+        except TransientIOError as exc:
+            kind = classify_failure(exc)
+            metrics.count_fault(kind)
+            _trace_fault(cluster, metrics, stage, exec_node, partition_id,
+                         f"fault:{kind}")
+            if config.on_error == "fail":
+                raise
+            if attempt >= config.max_retries:
+                raise ExecutionError(
+                    f"batched dereference of {file.name!r} partition "
+                    f"{partition_id} on node {exec_node} failed after "
+                    f"{attempt} retr{'ies' if attempt != 1 else 'y'}"
+                ) from exc
+            delay = min(config.retry_backoff_cap,
+                        config.retry_backoff_base * (2.0 ** attempt))
+            if delay > 0 and cluster.faults is not None:
+                delay *= cluster.faults.retry_jitter(exec_node, attempt)
+            attempt += 1
+            metrics.retries += 1
+            _trace_fault(cluster, metrics, stage, exec_node, partition_id,
+                         "retry")
+            if delay > 0:
+                yield cluster.sim.timeout(delay)
+
+
+def _charged_delta_merge_batch(cluster: Cluster, metrics: ExecutionMetrics,
+                               dereferencer: Dereferencer, file: File,
+                               probes: Sequence[Probe], partition_id: int,
+                               catalog: "StructureCatalog",
+                               outputs: list) -> Iterator:
+    """Delta merge for a whole batch: every probe merges, but the runs
+    are read **once per batch** (one batched read over the consulted
+    runs) instead of once per probe — the batched charging rule."""
+    runs = catalog.delta_runs(file.name)
+    consulted_max = 0
+    merged = []
+    for (target, context), records in zip(probes, outputs):
+        records, consulted = _merge_deltas(
+            metrics, dereferencer, file, target, partition_id, context,
+            runs, records)
+        consulted_max = max(consulted_max, consulted)
+        merged.append(records)
+    if consulted_max:
+        owner = cluster.serving_node(file.node_of(partition_id))
+        disk = cluster.node(owner).disk
+        yield from disk.random_read_batch(consulted_max)
+        metrics.random_reads += consulted_max
+    return merged
+
+
+def recovering_dereference_batch(cluster: Cluster, config: EngineConfig,
+                                 metrics: ExecutionMetrics, stage: int,
+                                 dereferencer: Dereferencer, file: File,
+                                 probes: Sequence[Probe], partition_id: int,
+                                 executing_node: int, *,
+                                 catalog: Optional["StructureCatalog"]
+                                 = None,
+                                 failures: Optional[FailureReport] = None,
+                                 runtime: Optional[dict] = None,
+                                 abort_check: Optional[Callable[[], bool]]
+                                 = None) -> Iterator:
+    """Batched counterpart of :func:`recovering_dereference`.
+
+    The healthy path dispatches the whole batch through
+    :func:`resilient_dereference_batch` and merges deltas once per
+    batch.  Under active corruption or against a sick structure the
+    batch degrades to per-probe :func:`recovering_dereference` calls, so
+    the quarantine protocol stays single-sourced (batching buys nothing
+    on a path whose cost is dominated by the recovery scan anyway)."""
+    injector = cluster.faults
+    corrupting = injector is not None and injector.has_corruption
+    sick = (catalog is not None and isinstance(file, BtreeFile)
+            and not catalog.healthy(file.name))
+    if (catalog is not None and runtime is not None
+            and (corrupting or sick)
+            and not isinstance(dereferencer, ScanLookupDereferencer)):
+        outputs = []
+        for target, context in probes:
+            records = yield from recovering_dereference(
+                cluster, config, metrics, stage, dereferencer, file,
+                target, partition_id, executing_node, context,
+                catalog=catalog, failures=failures, runtime=runtime,
+                abort_check=abort_check)
+            outputs.append(records)
+        return outputs
+    outputs = yield from resilient_dereference_batch(
+        cluster, config, metrics, stage, dereferencer, file, probes,
+        partition_id, executing_node, abort_check=abort_check)
+    if _has_deltas(catalog, dereferencer, file):
+        assert catalog is not None
+        outputs = yield from _charged_delta_merge_batch(
+            cluster, metrics, dereferencer, file, probes, partition_id,
+            catalog, outputs)
+    return outputs
+
+
+def count_only_dereference_batch(metrics: ExecutionMetrics, stage: int,
+                                 dereferencer: Dereferencer, file: File,
+                                 probes: Sequence[Probe],
+                                 partition_id: int, *,
+                                 catalog: Optional["StructureCatalog"]
+                                 = None,
+                                 capacity: int = 0) -> list:
+    """Batched counterpart of :func:`count_only_dereference` (the
+    simulation-free reference path): same fetches, batch-amortized read
+    accounting, no simulated time."""
+    if isinstance(dereferencer, ScanLookupDereferencer):
+        first_probe = not dereferencer.has_table(file)
+        fetched = [dereferencer.fetch(file, target, partition_id)
+                   for target, __ in probes]
+        if first_probe:
+            delta_bytes, __ = dereferencer.delta_bytes_on(
+                file, list(range(file.num_partitions)))
+            metrics.scan_stage_builds += 1
+            metrics.scan_stage_bytes += file.total_bytes + delta_bytes
+        total_records = sum(len(records) for records in fetched)
+        metrics.count_fetch(stage, total_records, False, 0)
+        metrics.count_batch(len(probes), capacity)
+        return [dereferencer.apply_filter(records, context)
+                for records, (__, context) in zip(fetched, probes)]
+    fetched = [dereferencer.fetch(file, target, partition_id)
+               for target, __ in probes]
+    all_records = [r for records in fetched for r in records]
+    reads = _fetch_cost_reads(file, all_records, _REFERENCE_PAGE_SIZE)
+    metrics.count_fetch(stage, len(all_records),
+                        isinstance(file, BtreeFile), reads)
+    metrics.count_batch(len(probes), capacity)
+    outputs = [dereferencer.apply_filter(records, context)
+               for records, (__, context) in zip(fetched, probes)]
+    if _has_deltas(catalog, dereferencer, file):
+        assert catalog is not None
+        runs = catalog.delta_runs(file.name)
+        outputs = [
+            _merge_deltas(metrics, dereferencer, file, target,
+                          partition_id, context, runs, records)[0]
+            for (target, context), records in zip(probes, outputs)]
+    return outputs

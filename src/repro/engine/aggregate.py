@@ -19,7 +19,7 @@ the same precedence as :meth:`OutputRow.project`.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
+from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.core.interpreters import Interpreter
 from repro.core.job import OutputRow

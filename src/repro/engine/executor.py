@@ -87,8 +87,8 @@ class ReDeExecutor:
         dispatching new ones).
         """
         if self.mode == "reference":
-            result = ReferenceExecutor(self.catalog).execute(job,
-                                                             limit=limit)
+            result = ReferenceExecutor(
+                self.catalog, config=self.config).execute(job, limit=limit)
         else:
             assert self.cluster is not None
             if self.mode == "smpe":

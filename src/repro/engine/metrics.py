@@ -82,6 +82,13 @@ class ExecutionMetrics:
     #: ingest event-time watermark this job observed at submission
     #: (None on static lakes or before the first committed batch)
     freshness_watermark: Optional[float] = None
+    #: batched dereference dispatches (0 on the per-record reference path)
+    batches: int = 0
+    #: pointers/targets served through batched dispatches
+    batched_probes: int = 0
+    #: sum of configured batch capacities across dispatches (fill-factor
+    #: denominator: a dispatch of 3 probes at batch_size=64 adds 64 here)
+    batched_capacity: int = 0
     #: per-dereference timeline events when tracing is enabled, else None
     trace: Any = None
 
@@ -101,6 +108,28 @@ class ExecutionMetrics:
         """Account one referencer invocation (no storage fetch)."""
         self.stage_invocations[stage] += 1
 
+    def count_batch(self, num_probes: int, capacity: int) -> None:
+        """Account one batched dereference dispatch of ``num_probes``
+        targets under a configured capacity of ``capacity``."""
+        self.batches += 1
+        self.batched_probes += num_probes
+        self.batched_capacity += capacity
+
+    @property
+    def batch_fill(self) -> float:
+        """Mean fraction of configured batch capacity actually used."""
+        if self.batched_capacity <= 0:
+            return 0.0
+        return self.batched_probes / self.batched_capacity
+
+    @property
+    def amortized_reads_per_record(self) -> float:
+        """Random reads per fetched record — the amortization headline:
+        batching drives this down by deduplicating page walks."""
+        if self.record_accesses <= 0:
+            return 0.0
+        return self.random_reads / self.record_accesses
+
     def count_remote(self, nbytes: int) -> None:
         self.remote_fetches += 1
         self.bytes_transferred += nbytes
@@ -115,8 +144,14 @@ class ExecutionMetrics:
             self.transient_faults += 1
 
     def summary(self) -> dict[str, Any]:
-        """Flat dict view for reports and benchmark tables."""
-        return {
+        """Flat dict view for reports and benchmark tables.
+
+        Batch keys appear only when at least one batched dispatch ran,
+        so per-record (``batch_size=1``) runs keep the exact key set —
+        and therefore the exact rendered reports — of the pre-batching
+        engines.
+        """
+        out = {
             "record_accesses": self.record_accesses,
             "index_entry_accesses": self.index_entry_accesses,
             "base_record_accesses": self.base_record_accesses,
@@ -143,6 +178,13 @@ class ExecutionMetrics:
             "delta_superseded": self.delta_superseded,
             "freshness_watermark": self.freshness_watermark,
         }
+        if self.batches:
+            out["batches"] = self.batches
+            out["batched_probes"] = self.batched_probes
+            out["batch_fill"] = round(self.batch_fill, 4)
+            out["amortized_reads_per_record"] = round(
+                self.amortized_reads_per_record, 4)
+        return out
 
 
 @dataclass(frozen=True)

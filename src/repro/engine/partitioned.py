@@ -29,6 +29,7 @@ from repro.core.pointers import Pointer, PointerRange
 from repro.core.records import Record
 from repro.engine.access import (classify_failure, initial_probe_pids,
                                  recovering_dereference,
+                                 recovering_dereference_batch,
                                  resolve_partitions, stamp_watermark)
 from repro.engine.metrics import (ExecutionMetrics, FailureRecord,
                                   FailureReport, JobResult)
@@ -58,9 +59,12 @@ class PartitionedEngine:
         results: list[OutputRow] = []
         failures = FailureReport()
 
+        worker = (self._node_worker_batched if self.config.batch_size > 1
+                  else self._node_worker)
+
         def job_process():
             workers = [self.cluster.launch(
-                self._node_worker(job, metrics, failures, results, node_id),
+                worker(job, metrics, failures, results, node_id),
                 name=f"part-node{node_id}")
                 for node_id in range(self.cluster.num_nodes)]
             yield self.cluster.sim.all_of(workers)
@@ -189,3 +193,114 @@ class PartitionedEngine:
             for record in records:
                 yield from self._chain(job, metrics, failures, results,
                                        node_id, stage + 1, record, context)
+
+    # -- batched mode (batch_size > 1) -----------------------------------
+
+    def _deref_batch(self, metrics: ExecutionMetrics,
+                     failures: FailureReport, stage: int,
+                     function: Dereferencer, file, probes, pid: int,
+                     node_id: int):
+        """One policy-governed batched dereference.  The batch is the
+        failure unit too: under ``on_error='skip'`` an unsalvageable
+        batch drops as one recorded work unit (every probe empty)."""
+        try:
+            outputs = yield from recovering_dereference_batch(
+                self.cluster, self.config, metrics, stage, function, file,
+                probes, pid, node_id, catalog=self.catalog,
+                failures=failures,
+                runtime=getattr(self, "_recovery", None))
+        except Exception as exc:
+            kind = classify_failure(exc)
+            if self.config.on_error == "skip":
+                metrics.tasks_skipped += 1
+                failures.add(FailureRecord(
+                    stage=stage, node=node_id, partition=pid, kind=kind,
+                    error=str(exc), time=self.cluster.sim.now,
+                    attempts=1 if kind == "user-error"
+                    else self.config.max_retries + 1))
+                return [[] for __ in probes]
+            if kind == "user-error" or isinstance(exc, ExecutionError):
+                raise
+            raise JobAborted(
+                f"job aborted by {kind} fault on node {node_id}: "
+                f"{exc}") from exc
+        return outputs
+
+    def _node_worker_batched(self, job: Job, metrics: ExecutionMetrics,
+                             failures: FailureReport,
+                             results: list[OutputRow], node_id: int):
+        """Breadth-first batched pass over this node's share of the job.
+
+        Same stage semantics as the depth-first worker — dereferences
+        still run one after another on this node (no SMPE) — but each
+        dereference carries up to ``batch_size`` same-partition targets,
+        so the per-batch charging rules apply."""
+        batch_size = self.config.batch_size
+        dereferencer = job.functions[0]
+        assert isinstance(dereferencer, Dereferencer)
+        file = self.catalog.resolve(dereferencer.file_name)
+        groups: dict[int, list] = {}
+        for target in job.inputs:
+            for pid in initial_probe_pids(file, target, node_id):
+                groups.setdefault(pid, []).append((target, {}))
+        frontier: list = []
+        for pid, probes in groups.items():
+            if self._limit_reached(results):
+                return
+            for i in range(0, len(probes), batch_size):
+                chunk = probes[i:i + batch_size]
+                outputs = yield from self._deref_batch(
+                    metrics, failures, 0, dereferencer, file, chunk, pid,
+                    node_id)
+                for (__, context), records in zip(chunk, outputs):
+                    frontier.extend((record, context) for record in records)
+
+        stage = 1
+        while frontier and not self._limit_reached(results):
+            function = job.function_at(stage)
+            if function is None:
+                results.extend(OutputRow(payload, context)
+                               for payload, context in frontier
+                               if isinstance(payload, Record))
+                return
+            if isinstance(function, Referencer):
+                next_frontier: list = []
+                for payload, context in frontier:
+                    if not isinstance(payload, Record):
+                        raise ExecutionError(
+                            f"stage {stage} expects records, got "
+                            f"{type(payload).__name__}")
+                    metrics.count_invocation(stage)
+                    next_frontier.extend(function.reference(payload,
+                                                            context))
+                frontier = next_frontier
+                stage += 1
+                continue
+            if not all(isinstance(payload, (Pointer, PointerRange))
+                       for payload, __ in frontier):
+                raise ExecutionError(
+                    f"stage {stage} expects pointers")
+            file = self.catalog.resolve(function.file_name)
+            groups = {}
+            for payload, context in frontier:
+                if payload.partition_key is None:
+                    # No cross-node task shipping without SMPE: broadcast
+                    # targets are probed from here, partition by partition.
+                    pids = list(range(file.num_partitions))
+                else:
+                    pids = resolve_partitions(file, payload)
+                for pid in pids:
+                    groups.setdefault(pid, []).append((payload, context))
+            frontier = []
+            for pid, probes in groups.items():
+                if self._limit_reached(results):
+                    return
+                for i in range(0, len(probes), batch_size):
+                    chunk = probes[i:i + batch_size]
+                    outputs = yield from self._deref_batch(
+                        metrics, failures, stage, function, file, chunk,
+                        pid, node_id)
+                    for (__, context), records in zip(chunk, outputs):
+                        frontier.extend((record, context)
+                                        for record in records)
+            stage += 1

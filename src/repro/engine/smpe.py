@@ -73,6 +73,7 @@ from repro.core.pointers import Pointer, PointerRange
 from repro.core.records import Record
 from repro.engine.access import (classify_failure, initial_probe_pids,
                                  recovering_dereference,
+                                 recovering_dereference_batch,
                                  resolve_partitions, stamp_watermark)
 from repro.engine.metrics import (ExecutionMetrics, FailureRecord,
                                   FailureReport, JobResult)
@@ -396,11 +397,26 @@ class SmpeEngine:
             probes.extend((target, pid) for pid in pids)
 
         procs = []
-        for target, pid in probes:
-            state.tracker.inc()  # one in-flight unit per probe
-            procs.append(self.cluster.launch(
-                self._initial_probe(state, node_id, target, pid),
-                name=f"deref0@{node_id}"))
+        batch_size = self.config.batch_size
+        if batch_size > 1:
+            # Batched mode: same-partition targets share one dispatch.
+            groups: dict[int, list[Any]] = {}
+            for target, pid in probes:
+                groups.setdefault(pid, []).append(target)
+            for pid, targets in groups.items():
+                for i in range(0, len(targets), batch_size):
+                    chunk = targets[i:i + batch_size]
+                    state.tracker.inc(len(chunk))
+                    procs.append(self.cluster.launch(
+                        self._initial_probe_batch(state, node_id, chunk,
+                                                  pid),
+                        name=f"deref0@{node_id}"))
+        else:
+            for target, pid in probes:
+                state.tracker.inc()  # one in-flight unit per probe
+                procs.append(self.cluster.launch(
+                    self._initial_probe(state, node_id, target, pid),
+                    name=f"deref0@{node_id}"))
         if procs:
             yield self.cluster.sim.all_of(procs)
         return None
@@ -430,14 +446,64 @@ class SmpeEngine:
             pool.release()
             state.tracker.dec()
 
+    def _initial_probe_batch(self, state: "_RunState", node_id: int,
+                             targets: list, pid: int):
+        """One batched stage-0 dispatch: every target probes ``pid``."""
+        pool = state.pools[node_id]
+        yield pool.request()
+        try:
+            if state.cancelled:
+                return
+            dereferencer = state.job.functions[0]
+            file = self.catalog.resolve(dereferencer.file_name)
+            probes = [(target, {}) for target in targets]
+            try:
+                outputs = yield from recovering_dereference_batch(
+                    self.cluster, self.config, state.metrics, 0,
+                    dereferencer, file, probes, pid, node_id,
+                    catalog=self.catalog, failures=state.failures,
+                    runtime=state.recovery, abort_check=state.abort_check)
+            except Exception as exc:
+                self._unit_failed(state, node_id, 0, pid, exc)
+                return
+            for records in outputs:
+                for record in records:                   # lines 47-51
+                    self._enqueue(state, node_id,
+                                  _StageInput(1, record, {}))
+        finally:
+            pool.release()
+            for __ in targets:
+                state.tracker.dec()
+
     # -- the dispatcher (EXECUTESTAGES, lines 25-42) ---------------------
 
     def _dispatcher(self, state: "_RunState", node_id: int):
         queue = state.queues[node_id]
         job = state.job
+        batch_size = self.config.batch_size
+        # Batched mode: dereferencer inputs buffer per stage and flush as
+        # one dispatch when full — or as a partial batch the moment the
+        # queue runs dry, so a buffered item never waits on a blocked
+        # ``get()`` (the buffer holds task-tracker counts; parking them
+        # behind a blocking dequeue would deadlock job completion).
+        buffers: dict[int, list[_StageInput]] = {}
+
+        def flush(stage: Optional[int] = None) -> None:
+            stages = [stage] if stage is not None else list(buffers)
+            for s in stages:
+                items = buffers.pop(s, None)
+                if items:
+                    self.cluster.launch(
+                        self._execute_dereferencer_batch(
+                            state, node_id, job.function_at(s), items),
+                        name=f"deref-batch@{node_id}")
+
         while True:                                      # line 26
+            if buffers and len(queue) == 0:
+                flush()
             item = yield queue.get()                     # line 27 DEQUE
             if item is _SENTINEL:
+                flush()
                 return
 
             payload = item.payload
@@ -484,6 +550,11 @@ class SmpeEngine:
                         self._execute_referencer(state, node_id, function,
                                                  item),
                         name=f"ref@{node_id}")
+            elif batch_size > 1:
+                buffer = buffers.setdefault(item.stage, [])
+                buffer.append(item)
+                if len(buffer) >= batch_size:
+                    flush(item.stage)
             else:
                 # Line 39: "create if func is Dereferencer" — every
                 # dereference invocation gets its own pooled thread.
@@ -571,6 +642,62 @@ class SmpeEngine:
         finally:
             pool.release()
             state.tracker.dec()
+
+    def _execute_dereferencer_batch(self, state: "_RunState", node_id: int,
+                                    function: Dereferencer,
+                                    items: list[_StageInput]):
+        """One pooled thread serving a whole buffered batch.
+
+        Targets resolve to partitions per item (a crash re-route or a
+        LOCAL broadcast share changes resolution per entry), then group
+        by partition; each group is one batched dereference, and each
+        group is its own failure unit under ``on_error='skip'``."""
+        pool = state.pools[node_id]
+        stage = items[0].stage
+        yield pool.request()                             # line 44
+        try:
+            if state.cancelled:
+                return
+            file = self.catalog.resolve(function.file_name)
+            groups: dict[int, list[_StageInput]] = {}
+            for item in items:
+                target = item.payload
+                if not isinstance(target, (Pointer, PointerRange)):
+                    self._unit_failed(
+                        state, node_id, stage, None, ExecutionError(
+                            f"stage {stage} expects pointers, got "
+                            f"{type(target).__name__}"))
+                    continue
+                home = (item.home_node if item.home_node is not None
+                        else node_id)
+                for pid in resolve_partitions(file, target,
+                                              executing_node=home,
+                                              local_only=item.local_only):
+                    groups.setdefault(pid, []).append(item)
+            for pid, group in groups.items():
+                if state.cancelled:
+                    return
+                probes = [(item.payload, item.context) for item in group]
+                try:
+                    outputs = yield from recovering_dereference_batch(
+                        self.cluster, self.config, state.metrics, stage,
+                        function, file, probes, pid, node_id,
+                        catalog=self.catalog, failures=state.failures,
+                        runtime=state.recovery,
+                        abort_check=state.abort_check)
+                except Exception as exc:
+                    self._unit_failed(state, node_id, stage, pid, exc)
+                    continue
+                for item, records in zip(group, outputs):
+                    for record in records:               # lines 47-51
+                        self._enqueue(state, node_id, _StageInput(
+                            stage + 1, record, item.context))
+        except Exception as exc:
+            self._unit_failed(state, node_id, stage, None, exc)
+        finally:
+            pool.release()
+            for __ in items:
+                state.tracker.dec()
 
     # -- plumbing ---------------------------------------------------------
 

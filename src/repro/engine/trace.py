@@ -16,7 +16,7 @@ used by tests, benchmarks, and the timeline example:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Sequence
 
 __all__ = ["TraceEvent", "max_overlap", "concurrency_timeline",
            "stage_spans", "render_timeline"]
@@ -45,6 +45,9 @@ class TraceEvent:
     cache_hits: int = 0
     #: buffer-pool pages that had to go to disk during this dereference
     cache_misses: int = 0
+    #: probes dispatched in this event (1 on the per-record path; >1 when
+    #: the batched funnel grouped same-(file, partition) targets)
+    batch_size: int = 1
 
     @property
     def remote(self) -> bool:

@@ -27,7 +27,8 @@ from typing import Any, Optional
 from repro.cluster.cluster import Cluster
 from repro.core.catalog import StructureCatalog, StructureState
 from repro.errors import NodeCrashed, ReproError
-from repro.ingest.delta import DeltaRegistry, DeltaRun, delta_tag
+from repro.ingest.delta import (DeltaRegistry, DeltaRun, delta_tag,
+                                index_placements)
 from repro.ingest.source import MicroBatch
 from repro.ingest.watermark import FreshnessWatermark
 from repro.storage.files import IndexEntry
@@ -166,10 +167,12 @@ class IngestCoordinator:
     def _maintained(self, file_name: str) -> list:
         """Materialized access methods over ``file_name``.
 
-        Registered-but-unmaterialized definitions are skipped: they will
-        be built from the base heap, which does not see delta records —
-        so access methods must be materialized before streaming begins
-        (or the lake compacted before building new ones).
+        Registered-but-unmaterialized definitions are skipped here: their
+        build scans the base heap, which does not see delta records.  The
+        gap is closed at materialization time — ``StructureCatalog.
+        ensure_built`` backfills one index delta run per committed base
+        run, so a structure built mid-stream answers fresh probes exactly
+        like one maintained from the start.
         """
         return [definition
                 for definition in self.catalog.definitions_over(file_name)
@@ -215,7 +218,7 @@ class IngestCoordinator:
             for definition, index in indexes:
                 for index_key in definition.extract_keys(record):
                     entry = IndexEntry(index_key, partition_key, tag)
-                    for ipid in self._placements(
+                    for ipid in index_placements(
                             definition, index, partition_key, index_key):
                         index_runs[definition.name].add(
                             ipid, index_key, entry, (pid, key))
@@ -231,7 +234,7 @@ class IngestCoordinator:
                 for definition, index in indexes:
                     for old_key in definition.extract_keys(old):
                         triple = (old_key, old_pk, slot)
-                        for ipid in self._placements(
+                        for ipid in index_placements(
                                 definition, index, old_pk, old_key):
                             tombstones[definition.name].setdefault(
                                 ipid, set()).add(triple)
@@ -260,14 +263,3 @@ class IngestCoordinator:
                     batch.batch_id, micro.file_name, len(micro),
                     1 + len(indexes))
 
-    @staticmethod
-    def _placements(definition, index, base_partition_key,
-                    index_key) -> list[int]:
-        """Index partitions one entry lands in — the exact placement
-        rule of the built tree, so probes of partition ``p`` see
-        precisely the delta entries the compacted tree would hold."""
-        if definition.scope == "replicated":
-            return list(range(index.num_partitions))
-        if definition.scope == "local":
-            return [index.partition_of_key(base_partition_key)]
-        return [index.partition_of_key(index_key)]

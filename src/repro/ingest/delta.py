@@ -44,7 +44,8 @@ from repro.ingest.watermark import FreshnessWatermark
 
 __all__ = ["DeltaRun", "DeltaRegistry", "probe_delta_runs",
            "probe_delta_tag", "dead_base_keys", "tombstone_set",
-           "merge_runs", "delta_tag", "is_delta_tag"]
+           "merge_runs", "delta_tag", "is_delta_tag",
+           "index_placements"]
 
 Target = Union[Pointer, PointerRange]
 
@@ -247,6 +248,19 @@ def probe_delta_tag(runs: list[DeltaRun], pid: int, tag: Any
             return [], 1
         return [payload], 0
     return [], 0
+
+
+def index_placements(definition: Any, index: Any, base_partition_key: Any,
+                     index_key: Any) -> list[int]:
+    """Index partitions one delta entry lands in — the exact placement
+    rule of the built tree, so probes of partition ``p`` see precisely
+    the delta entries the compacted tree would hold.  Shared by the
+    ingest commit and the materialization-time backfill."""
+    if definition.scope == "replicated":
+        return list(range(index.num_partitions))
+    if definition.scope == "local":
+        return [index.partition_of_key(base_partition_key)]
+    return [index.partition_of_key(index_key)]
 
 
 def merge_runs(runs: list[DeltaRun]) -> DeltaRun:

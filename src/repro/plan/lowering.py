@@ -157,7 +157,8 @@ def _lower_source(node: SourceNode, scan_backed: bool,
         if scan_backed:
             functions.append(ScanLookupDereferencer(
                 node.base, _loader_keys(catalog, node.base),
-                filter=_fold_filters(node.filters)))
+                filter=_fold_filters(node.filters),
+                delta_source=_delta_source(catalog, node.base)))
             return
         functions.append(FileLookupDereferencer(node.base))
     # Filters attach to the node's last dereferencer (the base fetch when
@@ -177,7 +178,8 @@ def _lower_join(node: JoinNode, scan_backed: bool, interpreter,
             broadcast=False))
         functions.append(ScanLookupDereferencer(
             node.target, _scan_join_keys(catalog, node),
-            filter=_fold_filters(node.filters)))
+            filter=_fold_filters(node.filters),
+            delta_source=_delta_source(catalog, node.target)))
         return
     probe_target = (node.via_index if node.via_index is not None
                     else node.target)
@@ -209,6 +211,22 @@ def _fold_filters(filters: Sequence[Filter]) -> Optional[Filter]:
         folded = (new_filter if folded is None
                   else AndFilter(folded, new_filter))
     return folded
+
+
+def _delta_source(catalog: "StructureCatalog", name: str):
+    """Delta plumbing for a scan-backed stage over base file ``name``:
+    a thunk yielding (current unmerged runs, loader in-partition key fn),
+    so the stage's hash table merges fresh data (newest-wins) and is
+    invalidated when a new run commits."""
+    try:
+        info = catalog.dfs.loader_info(name)
+    except Exception:
+        return None
+
+    def source():
+        return catalog.delta_runs(name), info.key_fn
+
+    return source
 
 
 def _loader_keys(catalog: "StructureCatalog", name: str) -> KeyExtractor:

@@ -419,7 +419,12 @@ class StagePlanner:
 
     def _scan_stage_seconds(self, table: str, probes: float,
                             fanout: float) -> float:
-        """Build a replicated hash table by scanning, then probe it."""
+        """Build a replicated hash table by scanning, then probe it.
+
+        On a fresh table the build also folds in the unmerged delta
+        runs (the scan-backed stage merges them newest-wins at build
+        time), so the price carries the extra sequential bytes and
+        build CPU — exactly 0.0 extra on a static lake."""
         nbytes = self._bytes(table)
         rows = self._rows(table)
         spec = self.spec
@@ -431,7 +436,17 @@ class StagePlanner:
         network = (per_node_bytes * (spec.num_nodes - 1) / spec.num_nodes
                    / spec.network.bandwidth)
         probe_cpu = self._tuple_seconds(probes * max(1.0, fanout))
-        return scan + build_cpu + network + probe_cpu
+        delta_seconds = 0.0
+        for run in self.catalog.delta_runs(table):
+            delta_bytes = sum(run.partition_bytes(pid)
+                              for pid in run.partitions())
+            delta_rows = sum(run.partition_len(pid)
+                             for pid in run.partitions())
+            delta_seconds += (delta_bytes / spec.num_nodes
+                              / node.disk.seq_bandwidth
+                              + (delta_rows / spec.num_nodes)
+                              * node.tuple_cpu_time)
+        return scan + build_cpu + network + probe_cpu + delta_seconds
 
     def _heap_pages_per_probe(self, table: str, fanout: float) -> float:
         file = self._file(table)
@@ -543,18 +558,16 @@ class StagePlanner:
     # -- scan-backability -------------------------------------------------
 
     def _scan_backable_base(self, source: SourceNode) -> bool:
+        # Fresh tables are fair game: the scan-backed stage's hash table
+        # merges unmerged delta runs at build time (newest-wins), so the
+        # planner prices scans against the delta-inclusive build cost
+        # instead of gating them off.
         if source.base is None:
-            return False
-        if self._delta_depth(source.base):
-            # A scan-built table sees only the base heap; unmerged delta
-            # records would silently vanish from the answer.
             return False
         return self._has_loader(source.base)
 
     def _scan_backable_join(self, join: JoinNode) -> bool:
         if join.broadcast:
-            return False
-        if self._delta_depth(join.target):
             return False
         if not isinstance(self._file(join.target), PartitionedFile):
             return False

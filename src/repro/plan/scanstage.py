@@ -8,6 +8,23 @@ probe, the first probe triggers one sequential pass over the target file
 key, and replicates it — charged in :mod:`repro.engine.access`), and
 every probe after that is an in-memory hash lookup.
 
+The table answers every pointer shape an upstream stage can emit:
+
+* **logical key pointers** (joins) hit the ``key_of`` join keys;
+* **physical pointers** (index entries targeting base slots) hit
+  per-``(partition, slot)`` entries recorded during the scan;
+* **delta-tag pointers** (index delta entries, see
+  :func:`repro.ingest.delta.delta_tag`) hit the tag of the live delta
+  payload that produced them.
+
+With a ``delta_source`` attached (the lowering wires one from the
+catalog), the build is *fresh*: heap records superseded by unmerged
+delta upserts are dropped (the scan-side tombstone filter) and live
+delta payloads are merged in with cross-run newest-wins — so the
+planner can price scans on fresh tables instead of gating them off.
+The table is cached per (file, set of unmerged runs): a new committed
+run invalidates it, and the next probe rebuilds (and re-charges) it.
+
 This mirrors what a scan engine's grace hash join does with the build
 side, expressed as a dereferencer so SMPE/partitioned/reference engines
 can interleave scan stages with index stages in one job.
@@ -18,7 +35,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional, Union
 
 from repro.core.interpreters import Filter
-from repro.core.pointers import Pointer, PointerRange
+from repro.core.pointers import Pointer, PointerKind, PointerRange
 from repro.core.records import Record
 from repro.core.functions import Dereferencer
 from repro.errors import ExecutionError, JobDefinitionError
@@ -29,42 +46,102 @@ __all__ = ["ScanLookupDereferencer"]
 #: ``Record -> list of join keys`` (multi-valued keys supported)
 KeyExtractor = Callable[[Record], list]
 
+#: namespace marker for physical (partition, slot) table entries, so slot
+#: integers can never collide with logical join keys
+_SLOT = "Δslot"
+
 
 class ScanLookupDereferencer(Dereferencer):
     """Fetch by key from a hash table built by scanning the whole file.
 
     ``key_of`` extracts the join key(s) a record is findable under.  The
-    table is built lazily per file object and shared by every probe;
-    ``runtime`` is scratch space for the engine-side cost charging (one
-    scan per cluster, concurrent probes wait on the build).
+    table is built lazily per (file, delta-run set) and shared by every
+    probe; ``runtime`` is scratch space for the engine-side cost charging
+    (one scan per cluster per run set, concurrent probes wait on the
+    build).  ``delta_source`` (optional) supplies the base file's current
+    unmerged :class:`~repro.ingest.delta.DeltaRun` list and the loader's
+    in-partition key function; without one the table sees the base heap
+    only, exactly as before streaming existed.
     """
 
     def __init__(self, file_name: str, key_of: KeyExtractor,
-                 filter: Optional[Filter] = None) -> None:
+                 filter: Optional[Filter] = None,
+                 delta_source: Optional[Callable[[], tuple]] = None) -> None:
         super().__init__(file_name, filter)
         self.key_of = key_of
-        self._tables: dict[int, dict[Any, list[Record]]] = {}
+        self.delta_source = delta_source
+        self._tables: dict[tuple, dict[Any, list[Record]]] = {}
         #: per-cluster build state, keyed by ``id(cluster)`` — owned by
         #: :func:`repro.engine.access.simulated_dereference`
         self.runtime: dict[int, dict[str, Any]] = {}
 
+    # -- delta plumbing --------------------------------------------------
+
+    def current_runs(self) -> tuple[list, Optional[Callable]]:
+        """``(unmerged runs, loader key_fn)`` for the target base file."""
+        if self.delta_source is None:
+            return [], None
+        return self.delta_source()
+
+    def delta_token(self) -> tuple:
+        """Identity of the run set the current table must reflect."""
+        runs, __ = self.current_runs()
+        return tuple(id(run) for run in runs)
+
+    def delta_bytes_on(self, file: File, pids: list[int]) -> tuple[int, int]:
+        """(bytes, rows) of unmerged delta data over ``pids`` — the extra
+        sequential work a fresh-table build pays on one node."""
+        runs, __ = self.current_runs()
+        nbytes = rows = 0
+        for run in runs:
+            for pid in pids:
+                nbytes += run.partition_bytes(pid)
+                rows += run.partition_len(pid)
+        return nbytes, rows
+
+    # -- the table -------------------------------------------------------
+
     def has_table(self, file: File) -> bool:
-        return id(file) in self._tables
+        return (id(file), self.delta_token()) in self._tables
 
     def table_for(self, file: File) -> dict[Any, list[Record]]:
-        """The hash table over ``file``, built on first use."""
+        """The hash table over ``file`` (plus live deltas), built on
+        first use and rebuilt when the unmerged-run set changes."""
         if not isinstance(file, PartitionedFile):
             raise JobDefinitionError(
                 f"{type(self).__name__} targets {self.file_name!r}, which "
                 "is not a base file (scan-backed stages scan heap files)")
-        table = self._tables.get(id(file))
-        if table is None:
-            table = {}
-            for pid in range(file.num_partitions):
-                for record in file.scan_partition(pid):
-                    for key in self.key_of(record):
-                        table.setdefault(key, []).append(record)
-            self._tables[id(file)] = table
+        runs, base_key_fn = self.current_runs()
+        token = (id(file), tuple(id(run) for run in runs))
+        table = self._tables.get(token)
+        if table is not None:
+            return table
+        from repro.ingest.delta import dead_base_keys
+
+        table = {}
+        for pid in range(file.num_partitions):
+            dead = dead_base_keys(runs, pid) if runs else frozenset()
+            for slot, record in enumerate(file.scan_partition(pid)):
+                if (dead and base_key_fn is not None
+                        and base_key_fn(record) in dead):
+                    # Superseded by a delta upsert: the scan-side analogue
+                    # of the index tombstone filter.
+                    continue
+                for key in self.key_of(record):
+                    table.setdefault(key, []).append(record)
+                table[(_SLOT, pid, slot)] = [record]
+        for i, run in enumerate(runs):
+            newer = runs[i + 1:]
+            for pid in run.partitions():
+                for __, payload, (bpid, bkey), tag in run.items(pid):
+                    if any(bkey in later.upserts.get(bpid, frozenset())
+                           for later in newer):
+                        continue  # newest wins across runs
+                    for key in self.key_of(payload):
+                        table.setdefault(key, []).append(payload)
+                    if tag is not None:
+                        table[tag] = [payload]
+        self._tables[token] = table
         return table
 
     def fetch(self, file: File, target: Union[Pointer, PointerRange],
@@ -77,4 +154,10 @@ class ScanLookupDereferencer(Dereferencer):
                 "scan-backed dereferencer cannot take broadcast pointers "
                 "(the hash table already covers every partition)")
         # partition_id is irrelevant: the table is replicated everywhere.
-        return list(self.table_for(file).get(target.key, ()))
+        table = self.table_for(file)
+        if target.kind is PointerKind.PHYSICAL:
+            # Index entries address base records by (routing key, slot);
+            # resolve against the physical entries the scan recorded.
+            pid = file.partition_of_key(target.partition_key)
+            return list(table.get((_SLOT, pid, target.key), ()))
+        return list(table.get(target.key, ()))

@@ -50,6 +50,33 @@ class TestCommands:
         assert "0.400" in out
 
 
+class TestBatchSizeFlag:
+    def test_defaults_to_per_record(self):
+        parser = build_parser()
+        assert parser.parse_args(["fig7"]).batch_size == 1
+        assert parser.parse_args(["plan"]).batch_size == 1
+        assert parser.parse_args(["serve"]).batch_size == 1
+
+    def test_fig7_batched_run_announces_batching(self, capsys):
+        assert main(["fig7", "--scale", "0.0005", "--nodes", "4",
+                     "--batch-size", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "batch 16" in out
+        assert "SMPE vs Impala" in out
+
+    def test_plan_batched_execute(self, capsys):
+        assert main(["plan", "--scale", "0.0005", "--nodes", "4",
+                     "--execute", "--batch-size", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "record accesses" in out
+
+    def test_serve_batched(self, capsys):
+        assert main(["serve", "--rate", "20", "--duration", "0.3",
+                     "--batch-size", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "tenant0" in out
+
+
 class TestPlanCommand:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["plan"])

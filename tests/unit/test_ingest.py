@@ -361,6 +361,52 @@ class TestCoordinator:
         assert catalog.delta_depth("items") == 2
 
 
+class TestBackfillOnMaterialization:
+    """PR-6 follow-up: a structure materialized after streaming began
+    used to silently miss every committed delta — probes through it
+    returned stale answers with no error.  ``ensure_built`` now
+    backfills one index delta run per committed base run."""
+
+    def test_structure_built_mid_stream_sees_deltas(self):
+        catalog = make_lake(num_built=0)
+        coord = IngestCoordinator(catalog)
+        coord.flush(coord.stage(MicroBatch(
+            "items", appends=[rec(100, color="gold")], event_time=1.0)))
+        coord.flush(coord.stage(MicroBatch(
+            "items", upserts=[rec(0, color="gold")], event_time=2.0)))
+        catalog.ensure_built("idx_color")
+        assert catalog.delta_depth("idx_color") == 2
+        gold, metrics = query_color(catalog, "gold")
+        assert gold == [0, 100]
+        assert metrics.delta_probes > 0
+        red, __ = query_color(catalog, "red")
+        assert 0 not in red  # stale heap version tombstoned at build
+
+    def test_backfill_matches_structure_maintained_from_start(self):
+        answers = []
+        for built_first in (True, False):
+            catalog = make_lake(num_built=1 if built_first else 0)
+            coord = IngestCoordinator(catalog)
+            coord.flush(coord.stage(MicroBatch(
+                "items",
+                appends=[rec(100, color="gold"), rec(101, color="red")],
+                event_time=1.0)))
+            coord.flush(coord.stage(MicroBatch(
+                "items",
+                upserts=[rec(100, color="red"), rec(3, color="gold")],
+                event_time=2.0)))
+            if not built_first:
+                catalog.ensure_built("idx_color")
+            answers.append((query_color(catalog, "gold")[0],
+                            query_color(catalog, "red")[0]))
+        assert answers[0] == answers[1]
+
+    def test_static_lake_build_registers_no_runs(self):
+        catalog = make_lake(num_built=0)
+        catalog.ensure_built("idx_color")
+        assert catalog.delta_depth("idx_color") == 0
+
+
 class TestCompactor:
     def fill(self, catalog, coord, batches=3):
         pk = 100

@@ -117,3 +117,84 @@ class TestFilters:
 
     def test_and_filter_empty_matches_all(self):
         assert AndFilter().matches(Record({}), {})
+
+
+class TestBatchInterpretation:
+    """The batch APIs are pure amortizations of the per-record ones."""
+
+    def test_mapping_batch_matches_per_record(self):
+        records = [Record({"a": 1}), Record("raw"), Record({"b": 2})]
+        assert (INTERP.interpret_batch(records)
+                == [INTERP.interpret(r) for r in records])
+
+    def test_delimited_batch_matches_per_record(self):
+        interp = DelimitedTextInterpreter(["id", "price"],
+                                          types={"id": int, "price": float})
+        records = [Record("7|19.5"), Record({"not": "text"}),
+                   Record("3|0.25"), Record("9")]
+        assert (interp.interpret_batch(records)
+                == [interp.interpret(r) for r in records])
+
+    def test_default_batch_loops_over_interpret(self):
+        interp = FunctionInterpreter(lambda r: {"n": len(r.data)})
+        records = [Record("ab"), Record("abcd")]
+        assert interp.interpret_batch(records) == [{"n": 2}, {"n": 4}]
+
+    def test_empty_batch(self):
+        assert INTERP.interpret_batch([]) == []
+        assert FieldEqualsFilter(INTERP, "a", 1).matches_batch([], {}) == []
+
+
+class TestBatchFilters:
+    def records(self):
+        return [Record({"v": i, "tag": "x" if i % 2 else "y"})
+                for i in range(8)] + [Record({"other": 1})]
+
+    @pytest.mark.parametrize("flt", [
+        PredicateFilter(lambda r, ctx: r.data.get("v", 0) % 2 == 0),
+        FieldRangeFilter(INTERP, "v", 2, 5),
+        FieldRangeFilter(INTERP, "v", None, 3),
+        FieldEqualsFilter(INTERP, "tag", "x"),
+        AndFilter(FieldRangeFilter(INTERP, "v", 0, 6),
+                  FieldEqualsFilter(INTERP, "tag", "x")),
+        AndFilter(),
+    ])
+    def test_batch_verdicts_match_per_record(self, flt):
+        records = self.records()
+        assert (flt.matches_batch(records, {})
+                == [flt.matches(r, {}) for r in records])
+
+    def test_context_match_batch(self):
+        flt = ContextMatchFilter(INTERP, "nk", "carried_nk")
+        records = [Record({"nk": 3}), Record({"nk": 4}), Record({})]
+        assert flt.matches_batch(records, {"carried_nk": 3}) == [
+            True, False, False]
+
+    def test_context_match_batch_missing_key_rejects_all(self):
+        flt = ContextMatchFilter(INTERP, "nk", "carried_nk")
+        records = [Record({"nk": 3}), Record({"nk": 4})]
+        assert flt.matches_batch(records, {}) == [False, False]
+
+    def test_and_filter_short_circuits_dead_records(self):
+        """Later conjuncts only see records still alive, mirroring the
+        per-record ``all()`` short-circuit."""
+        seen = []
+
+        def spy(record, context):
+            seen.append(record.data["v"])
+            return True
+
+        flt = AndFilter(FieldRangeFilter(INTERP, "v", 0, 2),
+                        PredicateFilter(spy))
+        records = [Record({"v": i}) for i in range(6)]
+        assert flt.matches_batch(records, {}) == [True] * 3 + [False] * 3
+        assert seen == [0, 1, 2]
+
+    def test_and_filter_all_dead_skips_remaining_parts(self):
+        def boom(record, context):
+            raise AssertionError("should never run")
+
+        flt = AndFilter(FieldEqualsFilter(INTERP, "v", -1),
+                        PredicateFilter(boom))
+        records = [Record({"v": i}) for i in range(4)]
+        assert flt.matches_batch(records, {}) == [False] * 4

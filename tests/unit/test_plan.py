@@ -14,7 +14,7 @@ from repro.core import (
     Record,
     StructureCatalog,
 )
-from repro.core.pointers import Pointer, PointerRange
+from repro.core.pointers import Pointer, PointerKind, PointerRange
 from repro.errors import ExecutionError, JobDefinitionError
 from repro.plan import (
     ACCESS_INDEX,
@@ -233,7 +233,23 @@ class TestScanLookupDereferencer:
         deref = self.make(catalog)
         file = catalog.resolve("child")
         table = deref.table_for(file)
-        assert sum(len(v) for v in table.values()) == 60
+        logical = {k: v for k, v in table.items()
+                   if not (isinstance(k, tuple) and k and k[0] == "Δslot")}
+        physical = {k: v for k, v in table.items() if k not in logical}
+        # every record keyed logically once, plus one physical slot entry
+        assert sum(len(v) for v in logical.values()) == 60
+        assert sum(len(v) for v in physical.values()) == 60
+
+    def test_fetch_by_physical_slot(self, catalog):
+        # index entries address base records by (routing key, slot); the
+        # scan table must resolve them, not misread slots as join keys
+        deref = self.make(catalog)
+        file = catalog.resolve("child")
+        pid = file.partition_of_key(3)
+        expected = list(file.scan_partition(pid))[2]
+        records = deref.fetch(
+            file, Pointer("child", 3, 2, kind=PointerKind.PHYSICAL), 0)
+        assert records == [expected]
 
     def test_fetch_by_key(self, catalog):
         deref = self.make(catalog)

@@ -3,11 +3,16 @@
 import pytest
 
 from repro.cluster import ClusterSpec, NodeSpec
+from repro.core import (AccessMethodDefinition, ChainQuery,
+                        MappingInterpreter, Record, StructureCatalog)
 from repro.engine import CostModel, HybridExecutor, PlanningExecutor
 from repro.errors import ExecutionError, JobDefinitionError
+from repro.ingest import IngestCoordinator, MicroBatch
 from repro.plan import ACCESS_INDEX, ACCESS_SCAN, LogicalPlan, StagePlanner
 from repro.plan.planner import expected_cache_hit_rate, working_set_bytes
 from repro.queries import TpchWorkload, canonical_q5_rows_rede
+from repro.storage import DistributedFileSystem
+from repro.storage.blockstore import BlockStore
 
 SELECTIVITY = 0.2
 REGION = "ASIA"
@@ -211,3 +216,82 @@ class TestCacheAwareCostModel:
         assert (model.estimate_rede_seconds(workload.catalog, job)
                 == estimate_indexed_job_seconds(spec, workload.catalog,
                                                 job))
+
+
+class TestFreshTableScans:
+    """Scan-backed stages are priceable on fresh tables: the stage's
+    hash table merges unmerged delta runs at build time, so the planner
+    no longer gates scans off the moment a batch commits."""
+
+    INTERP = MappingInterpreter()
+
+    def make_lake(self):
+        dfs = DistributedFileSystem(num_nodes=2)
+        catalog = StructureCatalog(dfs)
+        rows = [Record({"pk": i, "grp": i % 5}) for i in range(200)]
+        catalog.register_file("facts", rows, lambda r: r["pk"])
+        catalog.register_access_method(AccessMethodDefinition(
+            "idx_grp", "facts", interpreter=self.INTERP, key_field="grp",
+            scope="global"))
+        catalog.build_all()
+        store = BlockStore(num_nodes=2, block_size=64 * 1024)
+        store.load("facts", rows)
+        return catalog, store
+
+    def make_logical(self):
+        return (ChainQuery("fresh", interpreter=self.INTERP)
+                .from_index_lookup("idx_grp", [2], base="facts")
+                .logical_plan())
+
+    def ingest(self, catalog):
+        coord = IngestCoordinator(catalog)
+        coord.flush(coord.stage(MicroBatch(
+            "facts", appends=[Record({"pk": 1000 + i, "grp": 2})
+                              for i in range(5)],
+            event_time=1.0)))
+        return coord
+
+    def test_planner_prices_scans_on_fresh_tables(self):
+        catalog, store = self.make_lake()
+        self.ingest(catalog)
+        spec = ClusterSpec(num_nodes=2)
+        planner = StagePlanner(catalog, store, spec)
+        planned = planner.plan(self.make_logical())
+        source = planned.stage_estimates[0]
+        assert source.scan_seconds is not None
+
+    def test_fresh_build_costs_more_than_static(self):
+        catalog, store = self.make_lake()
+        spec = ClusterSpec(num_nodes=2)
+        planner = StagePlanner(catalog, store, spec)
+        static = planner._scan_stage_seconds("facts", 10.0, 1.0)
+        self.ingest(catalog)
+        fresh = planner._scan_stage_seconds("facts", 10.0, 1.0)
+        assert fresh > static
+
+    def test_pure_scan_plan_still_gated_on_fresh_tables(self):
+        catalog, store = self.make_lake()
+        self.ingest(catalog)
+        spec = ClusterSpec(num_nodes=2)
+        planner = StagePlanner(catalog, store, spec)
+        planned = planner.plan(self.make_logical())
+        assert planned.scan_estimate is None
+
+    def test_scan_backed_stage_answers_fresh(self):
+        from repro.engine import ReDeExecutor
+        from repro.plan import compile_logical
+
+        catalog, __ = self.make_lake()
+        self.ingest(catalog)
+        logical = self.make_logical()
+        rows = {}
+        for method in (ACCESS_INDEX, ACCESS_SCAN):
+            physical = compile_logical(logical, catalog, [method])
+            job = physical.to_job(catalog)
+            result = ReDeExecutor(None, catalog, mode="reference").execute(
+                job)
+            rows[method] = sorted(row.record["pk"] for row in result.rows)
+        expected = sorted([pk for pk in range(200) if pk % 5 == 2]
+                          + [1000 + i for i in range(5)])
+        assert rows[ACCESS_INDEX] == expected
+        assert rows[ACCESS_SCAN] == expected
