@@ -1,0 +1,359 @@
+"""Extension: elastic topology — serving through joins, drains, and
+crash-safe rebalancing.
+
+Three experiments on simulated time:
+
+* **serving through an elastic transition** — an open-loop tenant runs
+  at half capacity through the admission-controlled gateway while a
+  node joins, another drains, and the rebalancer migrates every moved
+  partition through the gateway's *background lane*.  The interactive
+  p99 dips by a bounded factor while movement is in flight (the
+  background slot plus cold caches on moved partitions) and recovers
+  after convergence; **zero** interactive jobs fail or are dropped.
+* **steady-state parity** — a cluster grown online from N to N+1 and
+  rebalanced serves a fixed job batch within 10% of a *fresh* cluster
+  built at N+1 (placement converges to exactly the fresh layout, so the
+  residual is cache state, not data placement).
+* **dynamic scale-out sweep** — one cluster grows online 128 -> 256 ->
+  512 nodes (16 -> 32 -> 64 in CI quick mode), rebalancing at each
+  step; the fixed-dataset join gets faster at every size while the
+  movement bill per step is itself reported.
+
+Run::
+
+    pytest benchmarks/bench_ext_elastic.py --benchmark-only
+
+``REPRO_BENCH_QUICK=1`` shrinks everything for CI smoke runs (results
+from quick runs are not saved).
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.bench import SweepTable, format_factor, format_seconds
+from repro.cluster import Cluster, TopologyController
+from repro.config import EngineConfig, laptop_cluster_spec
+from repro.core import (
+    AccessMethodDefinition,
+    ChainQuery,
+    MappingInterpreter,
+    Record,
+    StructureCatalog,
+)
+from repro.datagen import TpchGenerator
+from repro.engine import ReDeExecutor
+from repro.service import (QueryGateway, TenantSpec, background_rebalance,
+                           percentile)
+from repro.storage import DistributedFileSystem
+
+INTERP = MappingInterpreter()
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+NUM_NODES = 4
+SLOTS = 4
+SEED = 13
+DURATION = 1.0 if QUICK else 3.0
+#: the membership change lands one third into the serving run
+TRANSITION_AT = DURATION / 3.0
+#: rebalance throttle: with ~20 pending moves this stretches movement
+#: across a measurable slice of the run, so the "during" phase has a
+#: real population to take a p99 over
+PAUSE_BETWEEN_MOVES = 1e-2
+NUM_PARTITIONS = 16  # > num_nodes, so growth always moves partitions
+
+SWEEP_NODES = (16, 32, 64) if QUICK else (128, 256, 512)
+#: divides every sweep size, so online growth converges to exactly the
+#: placement a fresh cluster of that size would have
+SWEEP_PARTITIONS = SWEEP_NODES[-1]
+SWEEP_BATCH = 256  # the vectorized batch kernel keeps 512 nodes cheap
+
+
+def make_catalog(num_nodes=NUM_NODES, records=2000):
+    dfs = DistributedFileSystem(num_nodes=num_nodes)
+    catalog = StructureCatalog(dfs)
+    rows = [Record({"pk": i, "attr": i % 50}) for i in range(records)]
+    catalog.register_file("t", rows, lambda r: r["pk"],
+                          num_partitions=NUM_PARTITIONS)
+    catalog.register_access_method(AccessMethodDefinition(
+        name="idx_attr", base_file="t", interpreter=INTERP,
+        key_field="attr", scope="global"))
+    catalog.build_all()
+    return catalog
+
+
+def make_job(k):
+    low = k % 40
+    return (ChainQuery(f"q{k}", interpreter=INTERP)
+            .from_index_range("idx_attr", low, low + 9, base="t")
+            .build())
+
+
+def poisson_driver(cluster, rate, duration, seed, submit):
+    stream = random.Random(seed)
+
+    def drive():
+        clock, k = 0.0, 0
+        while True:
+            gap = stream.expovariate(rate)
+            if clock + gap >= duration:
+                return
+            clock += gap
+            yield cluster.sim.timeout(gap)
+            submit(k)
+            k += 1
+
+    return cluster.launch(drive(), name=f"drive@{rate:g}")
+
+
+def drain_tickets(cluster, tickets):
+    pending = [t.done for t in tickets if not t.finished]
+    if pending:
+        cluster.run_until(cluster.sim.all_of(pending))
+
+
+def measure_capacity():
+    catalog = make_catalog()
+    cluster = Cluster(laptop_cluster_spec(NUM_NODES))
+    gateway = QueryGateway(cluster, catalog, max_concurrent=SLOTS,
+                           global_queue_limit=64)
+    gateway.register(TenantSpec("cal", max_queued=64))
+    tickets = [gateway.submit("cal", make_job(k)) for k in range(24)]
+    drain_tickets(cluster, tickets)
+    assert all(t.state == "completed" for t in tickets)
+    return len(tickets) / max(t.finished_at for t in tickets)
+
+
+# -- experiment 1: serving through a join + drain --------------------------
+
+
+def run_elastic_serving(capacity):
+    """Half-capacity open-loop serving across a join + drain; returns
+    per-phase latencies keyed by how the ticket's lifetime relates to
+    the rebalance window, plus the topology's own account."""
+    catalog = make_catalog()
+    cluster = Cluster(laptop_cluster_spec(NUM_NODES))
+    topology = TopologyController(
+        cluster, catalog, pause_between_moves=PAUSE_BETWEEN_MOVES)
+    gateway = QueryGateway(cluster, catalog, max_concurrent=SLOTS,
+                           global_queue_limit=64)
+    gateway.register(TenantSpec("web", max_queued=64))
+    gateway.register(TenantSpec("maint"))
+
+    tickets = []
+    driver = poisson_driver(
+        cluster, 0.5 * capacity, DURATION, SEED,
+        lambda k: tickets.append(gateway.submit("web", make_job(k))))
+
+    maint = []
+
+    def transition():
+        yield cluster.sim.timeout(TRANSITION_AT)
+        topology.join_node()
+        topology.drain_node(0)
+        maint.append(gateway.submit(
+            "maint", work=background_rebalance(topology)))
+
+    cluster.launch(transition(), name="transition")
+    cluster.run_until(driver)
+    drain_tickets(cluster, tickets + maint)
+    gateway.close()
+
+    assert topology.converged
+    converged_at = max(e.time for e in topology.events)
+    # A job belongs to the movement window if its lifetime (arrival to
+    # completion) overlapped it — those are the requests that shared
+    # the cluster with in-flight partition copies.
+    phases = {"before": [], "during": [], "after": []}
+    for t in tickets:
+        if t.state != "completed":
+            continue
+        if t.finished_at < TRANSITION_AT:
+            phases["before"].append(t.latency)
+        elif t.finished_at - t.latency > converged_at:
+            phases["after"].append(t.latency)
+        else:
+            phases["during"].append(t.latency)
+    failed = sum(1 for t in tickets if t.state != "completed")
+    return {
+        "phases": phases,
+        "failed": failed,
+        "submitted": len(tickets),
+        "moves": topology.moves_committed,
+        "epoch": topology.epoch,
+        "window": converged_at - TRANSITION_AT,
+    }
+
+
+# -- experiment 2: steady-state parity after growth ------------------------
+
+
+def steady_state_makespan(cluster, catalog, jobs=12):
+    config = EngineConfig(batch_size=64)
+    executor = ReDeExecutor(cluster, catalog, config=config, mode="smpe")
+    start = cluster.sim.now
+    for k in range(jobs):
+        executor.execute(make_job(k))
+    return cluster.sim.now - start
+
+
+def run_parity():
+    grown_catalog = make_catalog()
+    grown = Cluster(laptop_cluster_spec(NUM_NODES))
+    topology = TopologyController(grown, grown_catalog)
+    topology.join_node()
+    rebalance_time = topology.rebalance()
+    grown_makespan = steady_state_makespan(grown, grown_catalog)
+
+    fresh_catalog = make_catalog(num_nodes=NUM_NODES + 1)
+    fresh = Cluster(laptop_cluster_spec(NUM_NODES + 1))
+    fresh_makespan = steady_state_makespan(fresh, fresh_catalog)
+    return {
+        "grown": grown_makespan,
+        "fresh": fresh_makespan,
+        "moves": topology.moves_committed,
+        "rebalance_time": rebalance_time,
+    }
+
+
+# -- experiment 3: dynamic 128 -> 512 sweep ---------------------------------
+
+
+def sweep_catalog(num_nodes):
+    generator = TpchGenerator(scale_factor=0.002, seed=23)
+    orders, lineitems = generator.orders_and_lineitems()
+    dfs = DistributedFileSystem(num_nodes=num_nodes)
+    catalog = StructureCatalog(dfs)
+    catalog.register_file("orders", orders, lambda r: r["o_orderkey"],
+                          num_partitions=SWEEP_PARTITIONS)
+    catalog.register_file("lineitem", lineitems,
+                          lambda r: r["l_orderkey"],
+                          num_partitions=SWEEP_PARTITIONS)
+    catalog.register_access_method(AccessMethodDefinition(
+        name="idx_date", base_file="orders", interpreter=INTERP,
+        key_field="o_orderdate", scope="local"))
+    catalog.build_all()
+    low, high = generator.date_range_for_selectivity(0.2)
+    job = (ChainQuery("orders_lineitems", interpreter=INTERP)
+           .from_index_range("idx_date", low, high, base="orders")
+           .join("lineitem", key="o_orderkey", carry=["o_orderkey"])
+           .build())
+    return catalog, job
+
+
+def run_dynamic_sweep():
+    """One cluster grows online through every sweep size, rebalancing
+    at each step; the same join runs (batched) at every plateau."""
+    catalog, job = sweep_catalog(SWEEP_NODES[0])
+    cluster = Cluster(laptop_cluster_spec(SWEEP_NODES[0]))
+    topology = TopologyController(cluster, catalog)
+    config = EngineConfig(batch_size=SWEEP_BATCH)
+
+    measurements = {}
+    for num_nodes in SWEEP_NODES:
+        while cluster.num_nodes < num_nodes:
+            topology.join_node()
+        rebalance_time = topology.rebalance()
+        moves = topology.moves_committed
+        result = ReDeExecutor(cluster, catalog, config=config,
+                              mode="smpe").execute(job)
+        measurements[num_nodes] = {
+            "elapsed": result.metrics.elapsed_seconds,
+            "accesses": result.metrics.record_accesses,
+            "rebalance": rebalance_time,
+            "moves": moves - sum(
+                m["moves"] for m in measurements.values()),
+            "rows": len(result.rows),
+        }
+    return measurements
+
+
+def run_all():
+    capacity = measure_capacity()
+    return {
+        "capacity": capacity,
+        "serving": run_elastic_serving(capacity),
+        "parity": run_parity(),
+        "sweep": run_dynamic_sweep(),
+    }
+
+
+def test_ext_elastic(benchmark, show, save_result):
+    results = benchmark.pedantic(run_all, iterations=1, rounds=1)
+
+    serving = results["serving"]
+    phases = serving["phases"]
+    table = SweepTable(
+        title=f"Extension: serving through an elastic transition "
+              f"({NUM_NODES} nodes, +1 join, -1 drain at "
+              f"{TRANSITION_AT:g}s, load 0.5x capacity "
+              f"({results['capacity']:.0f} jobs/s))",
+        columns=["phase", "completed", "p50", "p99"])
+    for phase in ("before", "during", "after"):
+        lat = phases[phase]
+        table.add_row(phase, len(lat),
+                      format_seconds(percentile(lat, 0.50)),
+                      format_seconds(percentile(lat, 0.99)))
+    table.add_note(
+        f"{serving['moves']} partition moves through the background "
+        f"lane over {format_seconds(serving['window'])}; "
+        f"{serving['failed']}/{serving['submitted']} interactive jobs "
+        f"failed; placement epoch ended at {serving['epoch']}")
+    parity = results["parity"]
+    delta = abs(parity["grown"] - parity["fresh"]) / parity["fresh"]
+    table.add_note(
+        f"steady state after growing {NUM_NODES}->{NUM_NODES + 1} "
+        f"online ({parity['moves']} moves, "
+        f"{format_seconds(parity['rebalance_time'])} of movement): "
+        f"{format_seconds(parity['grown'])} for the fixed batch vs "
+        f"{format_seconds(parity['fresh'])} on a fresh "
+        f"{NUM_NODES + 1}-node cluster ({delta * 100:.1f}% apart)")
+    show(table)
+
+    sweep = results["sweep"]
+    base = sweep[SWEEP_NODES[0]]
+    sweep_table = SweepTable(
+        title="Extension: dynamic scale-out, one cluster growing "
+              f"online {SWEEP_NODES[0]} -> {SWEEP_NODES[-1]} nodes "
+              f"(fixed dataset, batch_size={SWEEP_BATCH})",
+        columns=["nodes", "join elapsed", "speedup", "rebalance",
+                 "moves", "accesses"])
+    for num_nodes, row in sweep.items():
+        sweep_table.add_row(
+            num_nodes, format_seconds(row["elapsed"]),
+            format_factor(base["elapsed"] / row["elapsed"]),
+            format_seconds(row["rebalance"]), row["moves"],
+            row["accesses"])
+    sweep_table.add_note(
+        "each plateau converges to exactly the placement a fresh "
+        "cluster of that size would have; the movement bill is paid "
+        "once per growth step")
+    show(sweep_table)
+
+    if not QUICK:
+        save_result("ext_elastic", table)
+        save_result("ext_elastic_sweep", sweep_table)
+
+    # Zero failed interactive jobs through the whole transition.
+    assert serving["failed"] == 0
+    assert serving["moves"] > 0
+
+    # The p99 dip while movement is in flight is bounded, and the tail
+    # recovers after convergence.
+    p99 = {phase: percentile(lat, 0.99) for phase, lat in phases.items()}
+    assert all(phases.values()), "every phase must complete jobs"
+    assert p99["during"] <= 8.0 * p99["before"]
+    assert p99["after"] <= 2.0 * p99["before"]
+
+    # Post-rebalance steady state within 10% of a fresh cluster at the
+    # new size.
+    assert delta <= 0.10, f"steady state {delta * 100:.1f}% off fresh"
+
+    # The dynamic sweep keeps the answer and the work constant while
+    # getting faster at every plateau.
+    assert len({row["rows"] for row in sweep.values()}) == 1
+    assert len({row["accesses"] for row in sweep.values()}) == 1
+    elapsed = [sweep[n]["elapsed"] for n in SWEEP_NODES]
+    assert all(b < a for a, b in zip(elapsed, elapsed[1:]))
+    assert all(sweep[n]["moves"] > 0 for n in SWEEP_NODES[1:])

@@ -107,6 +107,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "applied to every index structure (default 0;"
                             " corrupt probes quarantine the structure and"
                             " re-serve the stage by scan)")
+    chaos.add_argument("--crash-during-rebalance", type=int, default=None,
+                       metavar="N",
+                       help="join a node, rebalance concurrently with the "
+                            "query, and crash a migration endpoint when "
+                            "move N starts (0 = the very first move); the "
+                            "rebalance must still converge with the "
+                            "catalog consistent")
+    chaos.add_argument("--rebalance-victim", choices=("source", "target"),
+                       default="target",
+                       help="which end of the in-flight migration the "
+                            "rebalance-keyed crash kills (default target)")
 
     scrub = commands.add_parser(
         "scrub",
@@ -294,10 +305,13 @@ def cmd_fig9(num_claims: int) -> int:
 def cmd_chaos(scale: float, nodes: int, seed: int, rate: float,
               drop_rate: float, policy: str, max_retries: int,
               crash_node: Optional[int], crash_at: float,
-              corruption: float = 0.0) -> int:
+              corruption: float = 0.0,
+              crash_during_rebalance: Optional[int] = None,
+              rebalance_victim: str = "target") -> int:
     """A small fault-injected Q5′: chaos run vs fault-free run, plus the
     structured FailureReport of everything the chaos run lost."""
-    from repro.cluster import FaultPlan, NodeCrash, PageCorruption
+    from repro.cluster import (FaultPlan, NodeCrash, PageCorruption,
+                               RebalanceCrash, TopologyController)
     from repro.config import EngineConfig
 
     workload = TpchWorkload(scale_factor=scale, seed=1, num_nodes=nodes,
@@ -313,20 +327,41 @@ def cmd_chaos(scale: float, nodes: int, seed: int, rate: float,
     corruptions = (tuple(PageCorruption(name, corruption)
                          for name in workload.catalog.access_methods())
                    if corruption > 0.0 else ())
+    rebalance_crashes = (
+        (RebalanceCrash(after_moves=crash_during_rebalance,
+                        victim=rebalance_victim),)
+        if crash_during_rebalance is not None else ())
     plan = FaultPlan(seed=seed, transient_io_rate=rate,
                      network_drop_rate=drop_rate, node_crashes=crashes,
-                     page_corruptions=corruptions)
+                     page_corruptions=corruptions,
+                     rebalance_crashes=rebalance_crashes)
     cluster = workload.make_cluster()
     cluster.inject_faults(plan)
+    topology = None
+    rebalance_proc = None
+    if crash_during_rebalance is not None:
+        # Elasticity chaos: a node joins, node 0 drains (so every one of
+        # its partitions must move), the rebalancer migrates them
+        # concurrently with the query, and the armed RebalanceCrash
+        # kills one end of an in-flight move.
+        topology = TopologyController(cluster, workload.catalog)
+        topology.join_node()
+        topology.drain_node(0)
+        rebalance_proc = cluster.launch(topology.rebalance_job(),
+                                        name="rebalance")
     config = EngineConfig(on_error=policy, max_retries=max_retries)
     chaotic = ReDeExecutor(cluster, workload.catalog, config=config,
                            mode="smpe").execute(job)
+    if rebalance_proc is not None:
+        cluster.run_until(rebalance_proc)
 
     summary = chaotic.metrics
     print(f"Q5' under chaos (seed={seed}, io-rate={rate}, "
           f"drop-rate={drop_rate}, policy={policy}"
           + (f", crash node {crash_node}@{crash_at}s" if crashes else "")
           + (f", page-corruption {corruption:g}" if corruptions else "")
+          + (f", {rebalance_victim} crash at rebalance move "
+             f"{crash_during_rebalance}" if rebalance_crashes else "")
           + ")")
     print(f"  fault-free: {len(clean.rows)} rows in "
           f"{clean.metrics.elapsed_seconds * 1e3:.1f} simulated ms")
@@ -341,6 +376,15 @@ def cmd_chaos(scale: float, nodes: int, seed: int, rate: float,
               f"probes detected, {summary.quarantines} structures "
               f"quarantined, {summary.corruption_fallbacks} probes "
               "re-served by scan")
+    if topology is not None:
+        assert topology.converged, "rebalance failed to converge"
+        print(f"  rebalance: {topology.moves_committed} moves committed, "
+              f"converged at epoch {topology.epoch} "
+              f"({len(topology.active_nodes())} active nodes)")
+        for event in topology.events:
+            detail = f" ({event.detail})" if event.detail else ""
+            print(f"    {event.time * 1e3:8.2f}ms epoch {event.epoch:2d} "
+                  f"{event.kind} node {event.node}{detail}")
     if canonical_q5_rows_rede(chaotic) == canonical_q5_rows_rede(clean):
         print("  result: identical to the fault-free answer")
     else:
@@ -694,7 +738,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "chaos":
         return cmd_chaos(args.scale, args.nodes, args.seed, args.rate,
                          args.drop_rate, args.policy, args.max_retries,
-                         args.crash_node, args.crash_at, args.corruption)
+                         args.crash_node, args.crash_at, args.corruption,
+                         args.crash_during_rebalance, args.rebalance_victim)
     if args.command == "scrub":
         return cmd_scrub(args.scale, args.nodes, args.seed,
                          args.corruption, args.sample_every)

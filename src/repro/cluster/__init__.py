@@ -7,6 +7,7 @@ from repro.cluster.faults import (
     FaultPlan,
     NodeCrash,
     PageCorruption,
+    RebalanceCrash,
     SlowDisk,
 )
 from repro.cluster.network import Network, NetworkSpec
@@ -21,6 +22,13 @@ from repro.cluster.simulation import (
     all_of,
     any_of,
 )
+from repro.cluster.topology import (
+    NodeState,
+    PartitionMove,
+    Rebalancer,
+    TopologyController,
+    TopologyEvent,
+)
 
 __all__ = [
     "Cluster",
@@ -30,8 +38,14 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "NodeCrash",
+    "NodeState",
     "PageCorruption",
+    "PartitionMove",
+    "RebalanceCrash",
+    "Rebalancer",
     "SlowDisk",
+    "TopologyController",
+    "TopologyEvent",
     "Network",
     "NetworkSpec",
     "Node",

@@ -9,9 +9,7 @@ resulting completion time is emergent.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Generator, Optional
-
-from typing import Callable
+from typing import Any, Callable, Generator, Optional
 
 from repro.cluster.faults import FaultInjector, FaultPlan
 from repro.cluster.network import Network, NetworkSpec
@@ -49,13 +47,21 @@ class Cluster:
         ]
         self.network = Network(self.sim, self.spec.network, self.spec.num_nodes)
         self.faults: Optional[FaultInjector] = None
+        #: elastic-membership controller (``cluster.topology.
+        #: TopologyController``); ``None`` on static clusters, which keeps
+        #: every membership-aware code path a strict no-op
+        self.topology: Optional[Any] = None
         self._crash_listeners: list[Callable[[int], None]] = []
+        #: remembered ``provision_caches`` arguments so nodes joining later
+        #: come up with the same pool the incumbents got
+        self._cache_provisioning: Optional[tuple[int, str]] = None
         if fault_plan is not None:
             self.inject_faults(fault_plan)
 
     @property
     def num_nodes(self) -> int:
-        return self.spec.num_nodes
+        """Current membership size (grows when nodes join online)."""
+        return len(self.nodes)
 
     def node(self, node_id: int) -> Node:
         if not 0 <= node_id < self.num_nodes:
@@ -80,6 +86,26 @@ class Cluster:
         self.network.faults = injector
         injector.arm()
         return injector
+
+    def add_node(self) -> Node:
+        """Grow the cluster by one node (contiguous id); returns it.
+
+        The joiner gets the shared :class:`NodeSpec`, its own NIC, fresh
+        fault-injection RNG streams (so pre-join draws are unchanged), and
+        — if the incumbents were cache-provisioned after construction —
+        the same buffer-pool parameters.  Placement is *not* touched here:
+        data moves only when a :class:`~repro.cluster.topology.
+        TopologyController` rebalances onto the new member.
+        """
+        node = Node(self.sim, self.spec.node, node_id=len(self.nodes))
+        self.nodes.append(node)
+        self.network.add_node()
+        if self.faults is not None:
+            node.disk.faults = self.faults
+            self.faults.add_node()
+        if self._cache_provisioning is not None:
+            node.provision_cache(*self._cache_provisioning)
+        return node
 
     def alive(self, node_id: int) -> bool:
         return self.node(node_id).alive
@@ -155,6 +181,7 @@ class Cluster:
     def provision_caches(self, cache_bytes: int,
                          policy: str = "lru") -> None:
         """Attach a buffer pool to every node that does not have one yet."""
+        self._cache_provisioning = (cache_bytes, policy)
         for node in self.nodes:
             node.provision_cache(cache_bytes, policy)
 

@@ -32,14 +32,14 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
-from repro.errors import SimulationError
+from repro.errors import JobDefinitionError
 from repro.storage.cache import PageId
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.cluster import Cluster
 
-__all__ = ["SlowDisk", "NodeCrash", "PageCorruption", "FaultPlan",
-           "FaultInjector"]
+__all__ = ["SlowDisk", "NodeCrash", "PageCorruption", "RebalanceCrash",
+           "FaultPlan", "FaultInjector"]
 
 #: channel tags for decorrelated per-node RNG streams
 _IO_CHANNEL = 1
@@ -73,11 +73,14 @@ class SlowDisk:
     factor: float = 4.0
 
     def __post_init__(self) -> None:
+        if self.node < 0:
+            raise JobDefinitionError(
+                f"slow disk names negative node id {self.node}")
         if self.factor < 1.0:
-            raise SimulationError(
+            raise JobDefinitionError(
                 f"slow-disk factor must be >= 1, got {self.factor}")
         if self.from_time < 0:
-            raise SimulationError("slow-disk from_time must be >= 0")
+            raise JobDefinitionError("slow-disk from_time must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -88,8 +91,11 @@ class NodeCrash:
     at_time: float
 
     def __post_init__(self) -> None:
+        if self.node < 0:
+            raise JobDefinitionError(
+                f"crash names negative node id {self.node}")
         if self.at_time <= 0:
-            raise SimulationError(
+            raise JobDefinitionError(
                 "crash time must be > 0 (nodes must exist before they die)")
 
 
@@ -111,10 +117,51 @@ class PageCorruption:
 
     def __post_init__(self) -> None:
         if not self.file:
-            raise SimulationError("page corruption needs a file name")
+            raise JobDefinitionError("page corruption needs a file name")
         if not 0.0 <= self.rate <= 1.0:
-            raise SimulationError(
+            raise JobDefinitionError(
                 f"corruption rate must be in [0, 1], got {self.rate}")
+        if self.node is not None and self.node < 0:
+            raise JobDefinitionError(
+                f"page corruption names negative node id {self.node}")
+
+
+@dataclass(frozen=True)
+class RebalanceCrash:
+    """Kill a node *mid-rebalance*, keyed to migration progress.
+
+    Fires when the rebalancer starts its next partition move after
+    ``after_moves`` moves have committed (``0`` = the very first move).
+    The ``victim`` selects who dies at that instant: an explicit
+    ``node``, or the ``"source"`` / ``"target"`` of the in-flight move —
+    the two ends of a migration are exactly the crashes a rebalance must
+    survive without orphaning or double-owning a partition.
+    """
+
+    after_moves: int
+    node: Optional[int] = None
+    victim: str = "node"
+
+    def __post_init__(self) -> None:
+        if self.after_moves < 0:
+            raise JobDefinitionError(
+                f"after_moves must be >= 0, got {self.after_moves}")
+        if self.victim not in ("node", "source", "target"):
+            raise JobDefinitionError(
+                f"rebalance-crash victim must be node|source|target, "
+                f"got {self.victim!r}")
+        if self.victim == "node":
+            if self.node is None:
+                raise JobDefinitionError(
+                    "rebalance crash with victim='node' needs a node id")
+            if self.node < 0:
+                raise JobDefinitionError(
+                    f"rebalance crash names negative node id {self.node}")
+        elif self.node is not None:
+            raise JobDefinitionError(
+                "rebalance crash resolves its victim from the in-flight "
+                "move; do not pass a node id with victim="
+                f"{self.victim!r}")
 
 
 @dataclass(frozen=True)
@@ -132,6 +179,8 @@ class FaultPlan:
         node_crashes: permanent node failures (see :class:`NodeCrash`).
         page_corruptions: silent per-page structure corruption (see
             :class:`PageCorruption`).
+        rebalance_crashes: crashes keyed to rebalance progress instead of
+            wall time (see :class:`RebalanceCrash`).
     """
 
     seed: int = 0
@@ -140,21 +189,24 @@ class FaultPlan:
     slow_disks: tuple[SlowDisk, ...] = ()
     node_crashes: tuple[NodeCrash, ...] = ()
     page_corruptions: tuple[PageCorruption, ...] = ()
+    rebalance_crashes: tuple[RebalanceCrash, ...] = ()
 
     def __post_init__(self) -> None:
         for name in ("transient_io_rate", "network_drop_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate < 1.0:
-                raise SimulationError(
+                raise JobDefinitionError(
                     f"{name} must be in [0, 1), got {rate}")
         # Accept lists for convenience; store canonical tuples.
         object.__setattr__(self, "slow_disks", tuple(self.slow_disks))
         object.__setattr__(self, "node_crashes", tuple(self.node_crashes))
         object.__setattr__(self, "page_corruptions",
                            tuple(self.page_corruptions))
+        object.__setattr__(self, "rebalance_crashes",
+                           tuple(self.rebalance_crashes))
         crashed = [c.node for c in self.node_crashes]
         if len(crashed) != len(set(crashed)):
-            raise SimulationError("a node cannot crash twice")
+            raise JobDefinitionError("a node cannot crash twice")
 
     @property
     def is_noop(self) -> bool:
@@ -162,6 +214,7 @@ class FaultPlan:
         return (self.transient_io_rate == 0.0
                 and self.network_drop_rate == 0.0
                 and not self.slow_disks and not self.node_crashes
+                and not self.rebalance_crashes
                 and not any(c.rate > 0.0 for c in self.page_corruptions))
 
 
@@ -184,16 +237,22 @@ class FaultInjector:
         num_nodes = cluster.num_nodes
         for slow in plan.slow_disks:
             if not 0 <= slow.node < num_nodes:
-                raise SimulationError(f"slow disk on unknown node {slow.node}")
+                raise JobDefinitionError(
+                    f"slow disk on unknown node {slow.node}")
         for crash in plan.node_crashes:
             if not 0 <= crash.node < num_nodes:
-                raise SimulationError(f"crash of unknown node {crash.node}")
+                raise JobDefinitionError(
+                    f"crash of unknown node {crash.node}")
         if len({c.node for c in plan.node_crashes}) >= num_nodes:
-            raise SimulationError("a fault plan cannot crash every node")
+            raise JobDefinitionError("a fault plan cannot crash every node")
         for spec in plan.page_corruptions:
             if spec.node is not None and not 0 <= spec.node < num_nodes:
-                raise SimulationError(
+                raise JobDefinitionError(
                     f"page corruption on unknown node {spec.node}")
+        for reb in plan.rebalance_crashes:
+            if reb.node is not None and not 0 <= reb.node < num_nodes:
+                raise JobDefinitionError(
+                    f"rebalance crash of unknown node {reb.node}")
         self.cluster = cluster
         self.plan = plan
         self.sim = cluster.sim
@@ -205,7 +264,21 @@ class FaultInjector:
         self._retry_rngs: dict[tuple[int, int], random.Random] = {}
         self._page_verdicts: dict[PageId, bool] = {}
         self._repaired: set[str] = set()
+        self._pending_rebalance = sorted(plan.rebalance_crashes,
+                                         key=lambda c: c.after_moves)
+        self._moves_committed = 0
         self.stats: Counter = Counter()
+
+    def add_node(self) -> None:
+        """Extend the per-node fault streams for a node that joined online.
+
+        The joiner gets the streams its id would have had at construction,
+        so pre-join draws on incumbent nodes are byte-identical with or
+        without the join.
+        """
+        new_id = len(self._io_rngs)
+        self._io_rngs.append(_stream(self.plan.seed, new_id, _IO_CHANNEL))
+        self._net_rngs.append(_stream(self.plan.seed, new_id, _NET_CHANNEL))
 
     # -- arming ----------------------------------------------------------
 
@@ -225,6 +298,31 @@ class FaultInjector:
         node.drop_cache()  # RAM dies with the node
         self.stats["node-crash"] += 1
         self.cluster._notify_crash(node_id)
+
+    # -- rebalance-keyed crashes -----------------------------------------
+
+    def note_move_start(self, source: int, target: int) -> None:
+        """Rebalancer hook: a partition migration is about to begin.
+
+        Fires every armed :class:`RebalanceCrash` whose ``after_moves``
+        threshold has been reached, killing the explicit victim or the
+        in-flight move's source/target — so the migration itself trips
+        over the crash it just caused, exactly like a real mid-copy
+        failure.
+        """
+        due = [c for c in self._pending_rebalance
+               if self._moves_committed >= c.after_moves]
+        for crash in due:
+            self._pending_rebalance.remove(crash)
+            victim = (crash.node if crash.victim == "node"
+                      else source if crash.victim == "source"
+                      else target)
+            assert victim is not None
+            self._kill(victim)
+
+    def note_move_commit(self) -> None:
+        """Rebalancer hook: one partition migration committed."""
+        self._moves_committed += 1
 
     # -- per-operation draws ---------------------------------------------
 
@@ -328,4 +426,4 @@ class FaultInjector:
 
     @property
     def has_crashes(self) -> bool:
-        return bool(self.plan.node_crashes)
+        return bool(self.plan.node_crashes or self.plan.rebalance_crashes)

@@ -58,6 +58,11 @@ class Network:
         #: fault source (set by Cluster.inject_faults); None = reliable
         self.faults: Optional["FaultInjector"] = None
 
+    def add_node(self) -> None:
+        """Grow the fabric by one NIC (a node joined the cluster)."""
+        self._nics.append(Resource(self.sim, self.spec.channels,
+                                   name=f"nic[{len(self._nics)}]"))
+
     def _check_alive(self, node_id: int) -> None:
         if self.faults is not None and not self.faults.node_alive(node_id):
             raise NodeCrashed(f"node {node_id} crashed; message undeliverable",

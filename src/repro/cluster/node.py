@@ -8,9 +8,7 @@ through the node's :class:`~repro.cluster.disk.Disk`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator
-
-from typing import Optional
+from typing import Generator, Optional
 
 from repro.cluster.disk import Disk, DiskSpec
 from repro.cluster.simulation import Resource, Simulator
@@ -66,6 +64,9 @@ class Node:
         #: liveness: flipped permanently by FaultInjector node crashes
         self.alive = True
         self.crashed_at: Optional[float] = None
+        #: True when the node left gracefully (drain), not by crashing —
+        #: listeners use this to tell planned departures from failures
+        self.retired = False
         #: per-node page cache; ``None`` means uncached (classic cost model)
         self.buffer_pool: Optional[BufferPool] = None
         if spec.cache_bytes > 0:

@@ -55,6 +55,7 @@ class Event:
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: Any = None
         self._ok = True
+        self._in_heap = False
 
     @property
     def triggered(self) -> bool:
@@ -74,7 +75,7 @@ class Event:
         return self
 
     def _scheduled(self) -> bool:
-        return getattr(self, "_in_heap", False)
+        return self._in_heap
 
     def _fire(self) -> None:
         callbacks, self.callbacks = self.callbacks, None
@@ -276,9 +277,6 @@ class Store:
         items = list(self._items)
         self._items.clear()
         return items
-
-    def __len__(self) -> int:
-        return len(self._items)
 
 
 def all_of(sim: "Simulator", events: Iterable[Event]) -> Event:

@@ -144,6 +144,14 @@ class EngineConfig:
             targets are grouped and charged per batch (page walks
             deduplicated, one network round trip per remote owner per
             batch, delta runs merged once per batch).
+        batch_linger: simulated seconds a partially-filled batch buffer
+            may wait for more same-stage inputs before flushing on an
+            idle tick.  0 (the default) flushes the moment the stage
+            queue runs dry — the pre-linger behaviour.  A small linger
+            lets bursty stages accumulate fuller batches (higher
+            ``batch_fill``) at the cost of added dispatch latency;
+            results are identical either way, and the knob is inert at
+            ``batch_size=1`` (nothing ever buffers).
     """
 
     thread_pool_size: int = 1000
@@ -161,6 +169,7 @@ class EngineConfig:
     cache_policy: str = "lru"
     cache_hit_time: float = 25e-6
     batch_size: int = 1
+    batch_linger: float = 0.0
 
     def __post_init__(self) -> None:
         if self.on_error not in ("fail", "retry", "skip"):
@@ -182,6 +191,8 @@ class EngineConfig:
             raise ValueError("cache_hit_time must be >= 0")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if self.batch_linger < 0:
+            raise ValueError("batch_linger must be >= 0")
 
 
 DEFAULT_ENGINE_CONFIG = EngineConfig()

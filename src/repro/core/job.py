@@ -15,7 +15,7 @@ dereferencer whose (filtered) records are the job output.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 
 from repro.core.functions import Dereferencer, Referencer

@@ -62,7 +62,7 @@ __all__ = ["resolve_partitions", "initial_probe_pids",
            "recovering_dereference", "count_only_dereference",
            "batched_dereference", "resilient_dereference_batch",
            "recovering_dereference_batch", "count_only_dereference_batch",
-           "classify_failure", "stamp_watermark"]
+           "classify_failure", "stamp_watermark", "stamp_epoch"]
 
 Target = Union[Pointer, PointerRange]
 #: one batched work item: (target, carried context)
@@ -749,6 +749,24 @@ def stamp_watermark(metrics: ExecutionMetrics,
     if registry is None or not registry.active:
         return
     metrics.freshness_watermark = registry.committed_through
+
+
+def stamp_epoch(metrics: ExecutionMetrics, cluster: "Cluster") -> None:
+    """Record the placement epoch this job is routed under.
+
+    Called once per job at submission.  A no-op on static clusters (no
+    :class:`~repro.cluster.topology.TopologyController` attached), so
+    elasticity-free runs keep their metrics bit-identical to
+    pre-topology builds.  Routing itself needs no epoch check: every
+    dereference attempt re-resolves the partition's current owner, so a
+    job submitted under epoch N completes correctly against placements
+    committed at epoch N+k — the stamp records which placement the job
+    *started* under, for observability and benchmark tables.
+    """
+    topology = cluster.topology
+    if topology is None:
+        return
+    metrics.placement_epoch = topology.epoch
 
 
 def recovering_dereference(cluster: Cluster, config: EngineConfig,

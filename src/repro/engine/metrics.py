@@ -82,6 +82,9 @@ class ExecutionMetrics:
     #: ingest event-time watermark this job observed at submission
     #: (None on static lakes or before the first committed batch)
     freshness_watermark: Optional[float] = None
+    #: placement epoch the job was routed under at submission (None on
+    #: static clusters — only set when a TopologyController is attached)
+    placement_epoch: Optional[int] = None
     #: batched dereference dispatches (0 on the per-record reference path)
     batches: int = 0
     #: pointers/targets served through batched dispatches
@@ -178,6 +181,8 @@ class ExecutionMetrics:
             "delta_superseded": self.delta_superseded,
             "freshness_watermark": self.freshness_watermark,
         }
+        if self.placement_epoch is not None:
+            out["placement_epoch"] = self.placement_epoch
         if self.batches:
             out["batches"] = self.batches
             out["batched_probes"] = self.batched_probes
@@ -222,12 +227,19 @@ class FailureReport:
     #: re-served from a scan — nothing was lost, so these do not make the
     #: result incomplete.
     quarantined: list[FailureRecord] = field(default_factory=list)
+    #: topology events observed mid-job (a node retired by a drain, a
+    #: crash during rebalance): re-routed work, nothing lost, so — like
+    #: quarantines — these never make the result incomplete.
+    topology: list[str] = field(default_factory=list)
 
     def add(self, record: FailureRecord) -> None:
         self.records.append(record)
 
     def note_quarantine(self, record: FailureRecord) -> None:
         self.quarantined.append(record)
+
+    def note_topology(self, note: str) -> None:
+        self.topology.append(note)
 
     @property
     def dropped_units(self) -> int:
@@ -244,7 +256,7 @@ class FailureReport:
 
     def render(self) -> str:
         """Human-readable account, one line per dropped unit."""
-        if not self.records and not self.quarantined:
+        if not self.records and not self.quarantined and not self.topology:
             return "FailureReport: complete result, nothing lost"
         if not self.records:
             lines = ["FailureReport: complete result, nothing lost"]
@@ -273,6 +285,13 @@ class FailureReport:
                 lines.append(
                     f"  stage {r.stage:2d} node {r.node} {where:<13s} "
                     f"{r.kind:<13s} at {r.time * 1e3:.2f}ms: {r.error}")
+        if self.topology:
+            lines.append(
+                f"Topology events mid-job ({len(self.topology)} event"
+                f"{'s' if len(self.topology) != 1 else ''}, work "
+                "re-routed, nothing lost):")
+            for note in self.topology:
+                lines.append(f"  {note}")
         return "\n".join(lines)
 
 

@@ -30,7 +30,8 @@ from repro.core.records import Record
 from repro.engine.access import (classify_failure, initial_probe_pids,
                                  recovering_dereference,
                                  recovering_dereference_batch,
-                                 resolve_partitions, stamp_watermark)
+                                 resolve_partitions, stamp_epoch,
+                                 stamp_watermark)
 from repro.engine.metrics import (ExecutionMetrics, FailureRecord,
                                   FailureReport, JobResult)
 from repro.errors import ExecutionError, JobAborted
@@ -52,6 +53,7 @@ class PartitionedEngine:
                 limit: Optional[int] = None) -> JobResult:
         metrics = ExecutionMetrics()
         stamp_watermark(metrics, self.catalog)
+        stamp_epoch(metrics, self.cluster)
         self._limit = limit
         self._recovery: dict = {}
         if self.config.trace:
@@ -73,9 +75,17 @@ class PartitionedEngine:
         busy_snaps = [node.disk.spindle_busy_snapshot()
                       for node in self.cluster.nodes]
         listener = None
-        if self.cluster.faults is not None:
+        if (self.cluster.faults is not None
+                or self.cluster.topology is not None):
             def listener(dead: int) -> None:
-                metrics.node_crashes += 1
+                nodes = self.cluster.nodes
+                if dead < len(nodes) and nodes[dead].retired:
+                    failures.note_topology(
+                        f"node {dead} retired by drain at "
+                        f"{self.cluster.sim.now * 1e3:.2f}ms; later "
+                        "dereferences re-route to survivors")
+                else:
+                    metrics.node_crashes += 1
             self.cluster.on_node_crash(listener)
         try:
             __, elapsed = self.cluster.run_job(

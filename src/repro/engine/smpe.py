@@ -64,7 +64,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Union
 
 from repro.cluster.cluster import Cluster
-from repro.cluster.simulation import Event, Resource, Store
+from repro.cluster.simulation import Event, Resource, Store, any_of
 from repro.config import DEFAULT_ENGINE_CONFIG, EngineConfig
 from repro.core.catalog import StructureCatalog
 from repro.core.functions import Dereferencer, Referencer
@@ -74,7 +74,8 @@ from repro.core.records import Record
 from repro.engine.access import (classify_failure, initial_probe_pids,
                                  recovering_dereference,
                                  recovering_dereference_batch,
-                                 resolve_partitions, stamp_watermark)
+                                 resolve_partitions, stamp_epoch,
+                                 stamp_watermark)
 from repro.engine.metrics import (ExecutionMetrics, FailureRecord,
                                   FailureReport, JobResult)
 from repro.errors import ExecutionError, JobAborted, NodeCrashed
@@ -216,6 +217,7 @@ class SmpeEngine:
         """
         metrics = ExecutionMetrics()
         stamp_watermark(metrics, self.catalog)
+        stamp_epoch(metrics, self.cluster)
         if self.config.trace:
             metrics.trace = []
         results: list[OutputRow] = []
@@ -235,7 +237,8 @@ class SmpeEngine:
                       for node in self.cluster.nodes]
 
         listener = None
-        if self.cluster.faults is not None:
+        if (self.cluster.faults is not None
+                or self.cluster.topology is not None):
             def listener(dead: int) -> None:
                 self._on_node_crash(state, dead)
             self.cluster.on_node_crash(listener)
@@ -342,13 +345,40 @@ class SmpeEngine:
 
     def _on_node_crash(self, state: "_RunState", dead: int) -> None:
         """Crash listener: hand the dead node's pending queue to the
-        survivor that adopted its partitions and stop its dispatcher."""
-        state.metrics.node_crashes += 1
+        survivor that adopted its partitions and stop its dispatcher.
+
+        Fires for true crashes and for planned drain retirements alike —
+        the re-queue mechanics are identical; only the accounting
+        differs (a drain is a topology event, not a lost node)."""
+        if dead < len(self.cluster.nodes) and self.cluster.nodes[dead].retired:
+            state.failures.note_topology(
+                f"node {dead} retired by drain at "
+                f"{self.cluster.sim.now * 1e3:.2f}ms; pending work "
+                "re-queued to survivors")
+        else:
+            state.metrics.node_crashes += 1
+        if dead >= len(state.queues):
+            # A node that joined after this job was submitted has no
+            # dispatcher here; nothing to re-queue.
+            return
         try:
             adopter = self.cluster.serving_node(dead)
         except NodeCrashed as exc:
             self._abort(state, exc)
             return
+        if adopter >= len(state.queues):
+            # The partition adopter joined after this job was submitted
+            # and runs no dispatcher here — re-queue onto an alive
+            # launch-time node instead (storage routing still goes to
+            # the true adopter via serving_node at dereference time).
+            candidates = [n for n in range(len(state.queues))
+                          if self.cluster.nodes[n].alive]
+            if not candidates:
+                self._abort(state, NodeCrashed(
+                    "no launch-time node survives to adopt queue of node "
+                    f"{dead}", node=dead))
+                return
+            adopter = candidates[0]
         for item in state.queues[dead].drain():
             if item is _SENTINEL:
                 continue
@@ -480,12 +510,17 @@ class SmpeEngine:
     def _dispatcher(self, state: "_RunState", node_id: int):
         queue = state.queues[node_id]
         job = state.job
+        sim = self.cluster.sim
         batch_size = self.config.batch_size
+        linger = self.config.batch_linger if batch_size > 1 else 0.0
         # Batched mode: dereferencer inputs buffer per stage and flush as
         # one dispatch when full — or as a partial batch the moment the
         # queue runs dry, so a buffered item never waits on a blocked
         # ``get()`` (the buffer holds task-tracker counts; parking them
         # behind a blocking dequeue would deadlock job completion).
+        # With ``batch_linger`` set, a dry queue instead races the next
+        # dequeue against an idle-tick timeout: more input within the
+        # linger window keeps filling the buffers; the tick flushes them.
         buffers: dict[int, list[_StageInput]] = {}
 
         def flush(stage: Optional[int] = None) -> None:
@@ -500,8 +535,21 @@ class SmpeEngine:
 
         while True:                                      # line 26
             if buffers and len(queue) == 0:
-                flush()
-            item = yield queue.get()                     # line 27 DEQUE
+                if linger > 0:
+                    # Idle tick: a pending ``get`` keeps its claim on the
+                    # next put even if the timeout wins the race, so the
+                    # same event is re-awaited after flushing.
+                    pending = queue.get()
+                    which, __ = yield any_of(
+                        sim, [pending, sim.timeout(linger)])
+                    if which == 1:
+                        flush()
+                    item = yield pending
+                else:
+                    flush()
+                    item = yield queue.get()
+            else:
+                item = yield queue.get()                 # line 27 DEQUE
             if item is _SENTINEL:
                 flush()
                 return
@@ -518,9 +566,15 @@ class SmpeEngine:
             if (isinstance(payload, (Pointer, PointerRange))
                     and payload.partition_key is None
                     and not item.local_only):
-                for other in range(self.cluster.num_nodes):
+                # Broadcast covers the nodes the job launched with — a
+                # node that joined mid-job holds no partition share of
+                # this run, so its queue (which does not exist here)
+                # would receive nothing anyway.
+                for other in range(len(state.queues)):
                     state.tracker.inc()
-                    state.queues[self.cluster.serving_node(other)].put(
+                    state.queues[
+                        self.cluster.serving_node(other)
+                        % len(state.queues)].put(
                         _StageInput(item.stage, payload, item.context,
                                     local_only=True,
                                     home_node=other))    # line 31 BROADCAST
@@ -704,9 +758,14 @@ class SmpeEngine:
     def _enqueue(self, state: "_RunState", node_id: int,
                  item: _StageInput) -> None:
         """ENQUE(queue, new_input): register the task, then queue it on
-        whichever node currently serves ``node_id``."""
+        whichever node currently serves ``node_id``.
+
+        The modulo folds a serving node that joined after this job was
+        submitted (and so has no dispatcher in this run) back onto a
+        launch-time queue; an identity on static membership."""
         state.tracker.inc()
-        state.queues[self.cluster.serving_node(node_id)].put(item)
+        state.queues[self.cluster.serving_node(node_id)
+                     % len(state.queues)].put(item)
 
 
 @dataclass

@@ -283,7 +283,8 @@ class StagePlanner:
                  config: EngineConfig = DEFAULT_ENGINE_CONFIG,
                  statistics: str = "exact",
                  histogram_buckets: int = 32,
-                 margin: float = 0.9) -> None:
+                 margin: float = 0.9,
+                 topology: Optional[Any] = None) -> None:
         self.catalog = catalog
         self.store = store
         self.spec = cluster_spec
@@ -291,6 +292,11 @@ class StagePlanner:
         self.statistics = statistics
         self.histogram_buckets = histogram_buckets
         self.margin = margin
+        #: optional TopologyController for placement-aware pricing: while
+        #: a rebalance is migrating partitions, random-IO capacity is
+        #: priced at the controller's effective node count (one node's
+        #: worth of spindles is busy copying).  None = static pricing.
+        self.topology = topology
         self._histograms: dict[str, Any] = {}
         self._distinct_cache: dict[tuple, int] = {}
         self._selectivity_cache: dict[tuple, float] = {}
@@ -388,7 +394,20 @@ class StagePlanner:
 
     @property
     def _total_iops(self) -> float:
-        return self.spec.node.disk.random_iops * self.spec.num_nodes
+        return self.spec.node.disk.random_iops * self._pricing_nodes
+
+    @property
+    def _pricing_nodes(self) -> int:
+        """Node count random-IO capacity is priced at.
+
+        With a topology controller attached this tracks live membership
+        and discounts one node's worth of capacity while a rebalance is
+        in flight; without one it is the static spec — so estimates on
+        static clusters are bit-identical to pre-topology builds.
+        """
+        if self.topology is None:
+            return self.spec.num_nodes
+        return self.topology.effective_nodes()
 
     def _cache_discount(self, structure_bytes: float,
                         ios: float) -> tuple[float, float]:

@@ -28,7 +28,8 @@ engine submission.
 from repro.service.gateway import (BackgroundWork, QueryGateway,
                                    ServiceTicket, background_build,
                                    background_compaction, background_ingest,
-                                   background_repair, background_scrub)
+                                   background_rebalance, background_repair,
+                                   background_scrub)
 from repro.service.scheduler import LANES, FairScheduler, QueuedRequest
 from repro.service.shedding import OverloadPolicy, ServiceDecision
 from repro.service.tenants import ServiceMetrics, TenantSpec, percentile
@@ -40,6 +41,7 @@ __all__ = [
     "background_build",
     "background_compaction",
     "background_ingest",
+    "background_rebalance",
     "background_repair",
     "background_scrub",
     "FairScheduler",

@@ -59,12 +59,13 @@ from repro.service.shedding import OverloadPolicy, ServiceDecision
 from repro.service.tenants import ServiceMetrics, TenantSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.topology import TopologyController
     from repro.ingest.compaction import Compactor
     from repro.ingest.coordinator import IngestBatch, IngestCoordinator
 
 __all__ = ["BackgroundWork", "QueryGateway", "ServiceTicket",
            "background_build", "background_compaction", "background_ingest",
-           "background_repair", "background_scrub"]
+           "background_rebalance", "background_repair", "background_scrub"]
 
 logger = logging.getLogger("repro.service")
 
@@ -575,6 +576,27 @@ def background_compaction(compactor: "Compactor", file_name: str,
         yield from compactor.compaction_job(file_name, tier)
 
     return BackgroundWork(name=f"compact-{tier}:{file_name}", make=make)
+
+
+def background_rebalance(controller: "TopologyController"
+                         ) -> BackgroundWork:
+    """One topology rebalance pass as gateway background work.
+
+    Dispatch runs the controller's charged, throttled migration
+    generator on the shared timeline, competing for serving slots on
+    the background lane — the elasticity path's equivalent of a
+    checkpointed build.  A no-op at dispatch time if placement already
+    matches the target topology (shed-then-resubmit stays idempotent),
+    and a crash mid-pass leaves the catalog consistent: a resubmitted
+    copy recomputes the diff and pays only the unmoved partitions.
+    """
+
+    def make() -> Generator:
+        if controller.converged:
+            return
+        yield from controller.rebalance_job()
+
+    return BackgroundWork(name="rebalance", make=make)
 
 
 def background_repair(worker: ScrubWorker, name: str) -> BackgroundWork:

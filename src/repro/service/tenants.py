@@ -122,7 +122,12 @@ class ServiceMetrics:
         """Fold one finished job's engine counters into the tenant sum."""
         mine = self.engine
         for key, value in metrics.summary().items():
-            if isinstance(value, int):
+            if key == "placement_epoch":
+                # An epoch is an identifier, not a counter: keep the
+                # newest placement any of this tenant's jobs ran under.
+                mine.placement_epoch = max(mine.placement_epoch or 0,
+                                           value)
+            elif isinstance(value, int):
                 setattr(mine, key, getattr(mine, key) + value)
         mine.elapsed_seconds += metrics.elapsed_seconds
 

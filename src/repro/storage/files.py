@@ -112,6 +112,24 @@ class File(abc.ABC):
         return [pid for pid, node in enumerate(self._placement)
                 if node == node_id]
 
+    @property
+    def placement(self) -> tuple[int, ...]:
+        """Current partition→node placement (read-only snapshot)."""
+        return tuple(self._placement)
+
+    def move_partition(self, partition_id: int, node_id: int) -> int:
+        """Re-home one partition (a rebalance commit); returns the old
+        owner.  This is pure metadata — the bytes were already copied by
+        whoever calls it (the storage layer is synchronous and time-free).
+        """
+        pid = self.partitioner.validate(partition_id)
+        if node_id < 0:
+            raise PartitionError(
+                f"cannot place partition {pid} on negative node {node_id}")
+        old = self._placement[pid]
+        self._placement[pid] = node_id
+        return old
+
     @abc.abstractmethod
     def lookup(self, pointer: Pointer) -> list[Record]:
         """Locate the record(s) a pointer refers to."""
@@ -320,6 +338,41 @@ class BtreeFile(File):
         self._total_bytes = sum(entry.size_bytes + _ENTRY_OVERHEAD
                                 for bucket in buckets
                                 for __, entry in bucket)
+
+    def set_replica_nodes(self, nodes: Sequence[int]) -> list[int]:
+        """Re-home a replicated index to one full copy per listed node.
+
+        Nodes already hosting a replica keep their tree; new nodes get a
+        bulk-loaded copy of an existing replica.  Returns the node ids
+        that received brand-new copies (the rebalancer charges the copy
+        IO *before* calling this — storage stays time-free).
+        """
+        if self.scope != "replicated":
+            raise StorageError(
+                "set_replica_nodes applies to replicated indexes only")
+        nodes = list(nodes)
+        if not nodes:
+            raise PartitionError("a replicated index needs >= 1 replica")
+        if len(set(nodes)) != len(nodes):
+            raise PartitionError("duplicate replica nodes")
+        per_replica = self._total_bytes // len(self.trees)
+        existing = {node: self.trees[pid]
+                    for pid, node in enumerate(self._placement)}
+        source = self.trees[0]
+        added = []
+        trees = []
+        for node in nodes:
+            tree = existing.get(node)
+            if tree is None:
+                tree = BPlusTree.bulk_load(list(source.items()),
+                                           order=self.order)
+                added.append(node)
+            trees.append(tree)
+        self.trees = trees
+        self.partitioner = HashPartitioner(len(nodes))
+        self._placement = nodes
+        self._total_bytes = per_replica * len(nodes)
+        return added
 
     # -- reads -----------------------------------------------------------
 

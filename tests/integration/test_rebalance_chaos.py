@@ -1,0 +1,272 @@
+"""Integration: crash-safe rebalancing under chaos.
+
+The robustness contract of :mod:`repro.cluster.topology`:
+
+* a node crash *mid-rebalance* (armed via :class:`RebalanceCrash`, firing
+  at the start of move N+1) leaves the catalog consistent — every
+  partition owned by exactly one live member, nothing orphaned or
+  double-owned — and the self-resumed rebalance converges over the
+  surviving membership;
+* resume pays only unmoved partitions: a partition committed to a target
+  that is still alive is never migrated twice;
+* queries racing the rebalance (or the crash) return exactly the
+  fault-free answer — routing re-resolves owners per attempt;
+* a graceful drain that retires its node mid-job is reported as a
+  *topology event* in the :class:`FailureReport`, not as a crash, and
+  the result stays complete;
+* the rebalance generator runs through the serving gateway's background
+  lane and is idempotent under re-submission.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    ClusterSpec,
+    FaultPlan,
+    NodeState,
+    RebalanceCrash,
+    TopologyController,
+)
+from repro.config import EngineConfig
+from repro.core import (
+    AccessMethodDefinition,
+    ChainQuery,
+    MappingInterpreter,
+    Record,
+    StructureCatalog,
+)
+from repro.engine import ReDeExecutor
+from repro.service import QueryGateway, TenantSpec, background_rebalance
+from repro.storage import DistributedFileSystem
+
+INTERP = MappingInterpreter()
+NUM_NODES = 4
+NUM_PARTITIONS = 8
+NUM_RECORDS = 400
+
+
+def make_catalog():
+    dfs = DistributedFileSystem(num_nodes=NUM_NODES)
+    catalog = StructureCatalog(dfs)
+    records = [Record({"pk": i, "attr": i % 20})
+               for i in range(NUM_RECORDS)]
+    catalog.register_file("t", records, lambda r: r["pk"],
+                          num_partitions=NUM_PARTITIONS)
+    catalog.register_access_method(AccessMethodDefinition(
+        name="idx_attr", base_file="t", interpreter=INTERP,
+        key_field="attr", scope="global"))
+    catalog.register_access_method(AccessMethodDefinition(
+        name="idx_rep", base_file="t", interpreter=INTERP,
+        key_field="attr", scope="replicated"))
+    catalog.build_all()
+    return catalog
+
+
+def probe_job(width=12):
+    return (ChainQuery("probe", interpreter=INTERP)
+            .from_index_range("idx_attr", 0, width - 1, base="t")
+            .build())
+
+
+def canon(result):
+    return sorted(row.record["pk"] for row in result.rows)
+
+
+def reference_rows():
+    result = ReDeExecutor(None, make_catalog(),
+                          mode="reference").execute(probe_job())
+    return canon(result)
+
+
+def assert_catalog_consistent(catalog, topology):
+    """No partition orphaned or double-owned: every partition of every
+    non-replicated file has exactly one owner (``node_of`` is a total
+    function, so *double*-ownership would be a placement-table bug — the
+    check is that the one owner is a live, active member), and the
+    replicated index holds exactly one copy per active node."""
+    active = topology.active_nodes()
+    for name in ("t", "idx_attr"):
+        file = catalog.dfs.get(name)
+        for pid in range(file.num_partitions):
+            owner = file.node_of(pid)
+            assert owner in active, (name, pid, owner, active)
+            assert topology.cluster.nodes[owner].alive, (name, pid, owner)
+    rep = catalog.dfs.get("idx_rep")
+    assert list(rep.placement) == active
+
+
+def committed_moves(topology):
+    """``(file[pid], target)`` per committed migration, in commit order."""
+    out = []
+    for event in topology.events:
+        if event.kind == "move":
+            out.append((event.detail.split(" ")[0], event.node))
+    return out
+
+
+class TestCrashMidRebalance:
+    @pytest.mark.parametrize("victim", ["target", "source"])
+    def test_crash_recomputes_diff_and_converges(self, victim):
+        catalog = make_catalog()
+        plan = FaultPlan(rebalance_crashes=(
+            RebalanceCrash(after_moves=2, victim=victim),))
+        cluster = Cluster(ClusterSpec(num_nodes=NUM_NODES),
+                          fault_plan=plan)
+        topology = TopologyController(cluster, catalog)
+        topology.join_node()
+        topology.drain_node(0)
+        topology.rebalance()
+
+        assert cluster.faults.stats["node-crash"] == 1
+        assert topology.converged
+        assert_catalog_consistent(catalog, topology)
+        assert topology.state(0) is NodeState.RETIRED
+
+    def test_resume_pays_only_unmoved_partitions(self):
+        catalog = make_catalog()
+        plan = FaultPlan(rebalance_crashes=(
+            RebalanceCrash(after_moves=3, victim="target"),))
+        cluster = Cluster(ClusterSpec(num_nodes=NUM_NODES),
+                          fault_plan=plan)
+        topology = TopologyController(cluster, catalog)
+        topology.join_node()
+        topology.rebalance()
+        assert topology.converged
+        assert_catalog_consistent(catalog, topology)
+
+        # One crash means at most one membership shift, so every
+        # partition is committed at most twice — and twice *only* when
+        # the shift re-mapped it (its pre-crash target is not where the
+        # final membership wants it).  A partition already at its want
+        # is never re-paid: that is the resume invariant.
+        commits = committed_moves(topology)
+        final = {}
+        for name in ("t", "idx_attr"):
+            file = catalog.dfs.get(name)
+            for pid in range(file.num_partitions):
+                final[f"{name}[{pid}]"] = file.node_of(pid)
+        first, last, counts = {}, {}, Counter(k for k, __ in commits)
+        for key, target in commits:
+            first.setdefault(key, target)
+            last[key] = target
+        assert max(counts.values()) <= 2
+        for key, n in counts.items():
+            assert last[key] == final[key], key
+            if n == 2:
+                assert first[key] != final[key], key
+
+    def test_checkpoints_track_flight_and_clear_at_convergence(self):
+        catalog = make_catalog()
+        cluster = Cluster(ClusterSpec(num_nodes=NUM_NODES))
+        topology = TopologyController(cluster, catalog,
+                                      pause_between_moves=1e-3)
+        topology.join_node()
+        done = cluster.launch(topology.rebalance_job(), name="rebalance")
+
+        # Sample mid-flight: committed moves are checkpointed per
+        # partition under the ``rebalance:<file>`` namespace — exactly
+        # what a restarted coordinator would consult.
+        cluster.run_until(cluster.sim.timeout(2.5e-3))
+        assert 0 < topology.moves_committed
+        assert not topology.converged
+        ledgered = sum(
+            len(catalog.completed_partitions(f"rebalance:{name}"))
+            for name in ("t", "idx_attr", "idx_rep"))
+        assert ledgered == topology.moves_committed
+
+        cluster.run_until(done)
+        assert topology.converged
+        for name in ("t", "idx_attr", "idx_rep"):
+            assert (catalog.completed_partitions(f"rebalance:{name}")
+                    == frozenset())
+
+
+class TestQueriesRacingRebalance:
+    @pytest.mark.parametrize("mode", ["smpe", "partitioned"])
+    def test_crash_mid_rebalance_keeps_answers_identical(self, mode):
+        truth = reference_rows()
+        catalog = make_catalog()
+        plan = FaultPlan(rebalance_crashes=(
+            RebalanceCrash(after_moves=1, victim="target"),))
+        cluster = Cluster(ClusterSpec(num_nodes=NUM_NODES),
+                          fault_plan=plan)
+        topology = TopologyController(cluster, catalog)
+        topology.join_node()
+        done = cluster.launch(topology.rebalance_job(), name="rebalance")
+
+        config = EngineConfig(on_error="retry")
+        result = ReDeExecutor(cluster, catalog, config=config,
+                              mode=mode).execute(probe_job())
+        assert canon(result) == truth
+        assert result.complete
+        assert result.metrics.placement_epoch is not None
+
+        cluster.run_until(done)
+        assert topology.converged
+        assert_catalog_consistent(catalog, topology)
+
+        # And again at the new placement: same answer, newer epoch.
+        after = ReDeExecutor(cluster, catalog, config=config,
+                             mode=mode).execute(probe_job())
+        assert canon(after) == truth
+        assert after.metrics.placement_epoch > result.metrics.placement_epoch
+
+    @pytest.mark.parametrize("mode", ["smpe", "partitioned"])
+    def test_drain_retiring_mid_job_is_a_topology_event(self, mode):
+        catalog = make_catalog()
+        cluster = Cluster(ClusterSpec(num_nodes=NUM_NODES))
+        topology = TopologyController(cluster, catalog)
+        topology.drain_node(1)
+        done = cluster.launch(topology.rebalance_job(), name="rebalance")
+
+        # A wide probe keeps the job in flight past the drain's retire.
+        job = (ChainQuery("wide", interpreter=INTERP)
+               .from_index_range("idx_attr", 0, 19, base="t")
+               .build())
+        wide_truth = canon(ReDeExecutor(None, make_catalog(),
+                                        mode="reference").execute(job))
+        result = ReDeExecutor(cluster, catalog,
+                              config=EngineConfig(on_error="retry"),
+                              mode=mode).execute(job)
+        cluster.run_until(done)
+
+        assert topology.state(1) is NodeState.RETIRED
+        assert canon(result) == wide_truth
+        assert result.complete  # a drain never loses work
+        report = result.failure_report
+        assert report.topology  # the retire landed while in flight
+        assert not report  # ... but it is not a *failure*
+        assert result.metrics.node_crashes == 0
+        assert "retired by drain" in report.topology[0]
+        assert "Topology events mid-job" in report.render()
+
+
+class TestGatewayRebalance:
+    def test_background_lane_runs_and_resubmission_is_free(self):
+        catalog = make_catalog()
+        cluster = Cluster(ClusterSpec(num_nodes=NUM_NODES))
+        topology = TopologyController(cluster, catalog)
+        gateway = QueryGateway(cluster, catalog)
+        gateway.register(TenantSpec("maint"))
+        topology.join_node()
+
+        first = gateway.submit("maint",
+                               work=background_rebalance(topology))
+        second = gateway.submit("maint",
+                                work=background_rebalance(topology))
+        cluster.run_until(cluster.sim.all_of(
+            [first.done, second.done]))
+
+        assert topology.converged
+        assert_catalog_consistent(catalog, topology)
+        moved = topology.moves_committed
+        assert moved > 0
+
+        # Converged: yet another submission is a free no-op.
+        third = gateway.submit("maint",
+                               work=background_rebalance(topology))
+        cluster.run_until(third.done)
+        assert topology.moves_committed == moved

@@ -9,13 +9,16 @@ path; batching may only ever *reduce* charged random reads (page-walk
 deduplication and amortized fetches).  A second property re-checks row
 agreement under injected transient-IO faults with ``on_error='retry'``
 (fault draws differ per batch size, so IO accounting is exempt there —
-the answer is not).
+the answer is not).  A third kills a node at a generated simulated time
+mid-job: batched and per-record execution must re-route to survivors,
+return exactly the fault-free reference rows, and reconcile their
+observed crash counters with the injector's ground truth.
 """
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cluster import Cluster, ClusterSpec, FaultPlan
+from repro.cluster import Cluster, ClusterSpec, FaultPlan, NodeCrash
 from repro.config import EngineConfig
 from repro.core import (
     AccessMethodDefinition,
@@ -97,14 +100,25 @@ def canon(result):
 
 
 def run(catalog, job, mode, batch_size, fault_plan=None):
+    result, __ = run_on_cluster(catalog, job, mode, batch_size,
+                                fault_plan=fault_plan)
+    return result
+
+
+def run_on_cluster(catalog, job, mode, batch_size, fault_plan=None):
+    # Under injected faults the retry budget is raised well above the
+    # default: the property asserts *semantics*, and a generated seed
+    # that exhausts retries aborts the job instead of testing it.
     config = EngineConfig(batch_size=batch_size,
-                          on_error="retry" if fault_plan else "fail")
+                          on_error="retry" if fault_plan else "fail",
+                          max_retries=10 if fault_plan else 3)
     cluster = None
     if mode != "reference":
         cluster = Cluster(ClusterSpec(num_nodes=catalog.dfs.num_nodes),
                           fault_plan=fault_plan)
-    return ReDeExecutor(cluster, catalog, config=config,
-                        mode=mode).execute(job)
+    result = ReDeExecutor(cluster, catalog, config=config,
+                          mode=mode).execute(job)
+    return result, cluster
 
 
 @settings(max_examples=20, deadline=None)
@@ -146,3 +160,34 @@ def test_batch_size_is_semantics_free_under_faults(ds, seed):
             assert (result.metrics.freshness_watermark
                     == base.metrics.freshness_watermark), label
             assert result.complete and base.complete, label
+
+
+@settings(max_examples=10, deadline=None)
+@given(scenarios,
+       st.integers(min_value=0, max_value=7),
+       st.integers(min_value=1, max_value=20))
+def test_batching_survives_timed_node_crash(ds, victim_draw, at_tick):
+    """A node killed at a generated simulated time mid-job must not
+    change the answer at any batch size: per-record and batched
+    execution both re-route the dead node's work to survivors and
+    return exactly the fault-free reference rows, with each run's
+    observed crash counter reconciled against the injector's ground
+    truth (a crash landing after job completion is observed by
+    neither)."""
+    ds = dict(ds, fresh_appends=0, fresh_upserts=0,
+              num_nodes=max(2, ds["num_nodes"]))
+    catalog = build_lake(ds)
+    job = build_job(ds)
+    truth = canon(run(catalog, job, "reference", 1))
+    victim = victim_draw % ds["num_nodes"]
+    crash_at = at_tick * 5e-4  # 0.5ms..10ms: spans mid-job and post-job
+    plan = FaultPlan(node_crashes=(NodeCrash(victim, crash_at),))
+    for mode in ("smpe", "partitioned"):
+        for batch_size in (1,) + BATCH_SIZES:
+            result, cluster = run_on_cluster(catalog, job, mode,
+                                             batch_size, fault_plan=plan)
+            label = (mode, batch_size)
+            assert canon(result) == truth, label
+            assert result.complete, label
+            injected = cluster.faults.stats.get("node-crash", 0)
+            assert result.metrics.node_crashes == injected, label

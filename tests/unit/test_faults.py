@@ -10,10 +10,12 @@ acquired.
 import pytest
 
 from repro.cluster import (Cluster, ClusterSpec, FaultInjector, FaultPlan,
-                           NodeCrash, SlowDisk)
+                           NodeCrash, PageCorruption, RebalanceCrash,
+                           SlowDisk)
 from repro.cluster.disk import Disk, DiskSpec
 from repro.cluster.simulation import Simulator
-from repro.errors import NodeCrashed, SimulationError, TransientIOError
+from repro.errors import (JobDefinitionError, NodeCrashed, SimulationError,
+                          TransientIOError)
 
 NUM_NODES = 4
 
@@ -23,49 +25,100 @@ def make_cluster(plan=None):
 
 
 class TestFaultPlanValidation:
+    """Fault specs are job definitions: a plan naming an impossible fault
+    raises :class:`JobDefinitionError` eagerly, at construction — not a
+    silent never-fires at run time."""
+
     def test_rates_must_be_probabilities(self):
-        with pytest.raises(SimulationError):
+        with pytest.raises(JobDefinitionError, match="transient_io_rate"):
             FaultPlan(transient_io_rate=1.0)
-        with pytest.raises(SimulationError):
+        with pytest.raises(JobDefinitionError, match="network_drop_rate"):
             FaultPlan(network_drop_rate=-0.1)
 
     def test_duplicate_crash_rejected(self):
-        with pytest.raises(SimulationError):
+        with pytest.raises(JobDefinitionError, match="crash twice"):
             FaultPlan(node_crashes=(NodeCrash(1, 0.5), NodeCrash(1, 0.9)))
 
     def test_crash_at_time_zero_rejected(self):
-        with pytest.raises(SimulationError):
+        with pytest.raises(JobDefinitionError, match="crash time"):
             NodeCrash(1, 0.0)
 
+    def test_crash_of_negative_node_rejected(self):
+        with pytest.raises(JobDefinitionError, match="negative node"):
+            NodeCrash(-1, 0.5)
+
+    def test_negative_crash_time_rejected(self):
+        with pytest.raises(JobDefinitionError, match="crash time"):
+            NodeCrash(1, -0.5)
+
     def test_slow_disk_factor_below_one_rejected(self):
-        with pytest.raises(SimulationError):
+        with pytest.raises(JobDefinitionError, match="factor"):
             SlowDisk(0, factor=0.5)
+
+    def test_slow_disk_negative_node_rejected(self):
+        with pytest.raises(JobDefinitionError, match="negative node"):
+            SlowDisk(-2)
+
+    def test_slow_disk_negative_from_time_rejected(self):
+        with pytest.raises(JobDefinitionError, match="from_time"):
+            SlowDisk(0, from_time=-1.0)
+
+    def test_corruption_negative_node_rejected(self):
+        with pytest.raises(JobDefinitionError, match="negative node"):
+            PageCorruption(file="idx", rate=0.1, node=-1)
+
+    def test_rebalance_crash_validation(self):
+        with pytest.raises(JobDefinitionError, match="after_moves"):
+            RebalanceCrash(after_moves=-1, node=0)
+        with pytest.raises(JobDefinitionError, match="victim"):
+            RebalanceCrash(after_moves=0, node=0, victim="bystander")
+        with pytest.raises(JobDefinitionError, match="node id"):
+            RebalanceCrash(after_moves=0)  # victim="node" needs an id
+        with pytest.raises(JobDefinitionError, match="negative node"):
+            RebalanceCrash(after_moves=0, node=-3)
+        with pytest.raises(JobDefinitionError, match="do not pass"):
+            RebalanceCrash(after_moves=0, node=1, victim="target")
+        # Valid forms construct fine.
+        RebalanceCrash(after_moves=2, node=1)
+        RebalanceCrash(after_moves=0, victim="source")
+        RebalanceCrash(after_moves=1, victim="target")
 
     def test_is_noop(self):
         assert FaultPlan().is_noop
         assert not FaultPlan(transient_io_rate=0.1).is_noop
         assert not FaultPlan(node_crashes=(NodeCrash(0, 1.0),)).is_noop
+        assert not FaultPlan(
+            rebalance_crashes=(RebalanceCrash(0, node=0),)).is_noop
 
     def test_lists_are_canonicalized_to_tuples(self):
         plan = FaultPlan(slow_disks=[SlowDisk(0)],
-                         node_crashes=[NodeCrash(1, 1.0)])
+                         node_crashes=[NodeCrash(1, 1.0)],
+                         rebalance_crashes=[RebalanceCrash(0, node=1)])
         assert isinstance(plan.slow_disks, tuple)
         assert isinstance(plan.node_crashes, tuple)
+        assert isinstance(plan.rebalance_crashes, tuple)
 
 
 class TestFaultInjectorValidation:
     def test_unknown_nodes_rejected(self):
-        with pytest.raises(SimulationError):
+        with pytest.raises(JobDefinitionError, match="unknown node 99"):
             make_cluster(FaultPlan(node_crashes=(NodeCrash(99, 1.0),)))
-        with pytest.raises(SimulationError):
+        with pytest.raises(JobDefinitionError, match="unknown node 99"):
             make_cluster(FaultPlan(slow_disks=(SlowDisk(99),)))
+
+    def test_rebalance_crash_of_unknown_node_rejected(self):
+        with pytest.raises(JobDefinitionError, match="unknown node 42"):
+            make_cluster(FaultPlan(
+                rebalance_crashes=(RebalanceCrash(0, node=42),)))
 
     def test_crashing_every_node_rejected(self):
         crashes = tuple(NodeCrash(n, 1.0 + n) for n in range(NUM_NODES))
-        with pytest.raises(SimulationError):
+        with pytest.raises(JobDefinitionError, match="every node"):
             make_cluster(FaultPlan(node_crashes=crashes))
 
     def test_double_injection_rejected(self):
+        # Not a definition error: the plan is fine, the cluster state
+        # is not — this stays a SimulationError.
         cluster = make_cluster(FaultPlan(transient_io_rate=0.1))
         with pytest.raises(SimulationError):
             cluster.inject_faults(FaultPlan(seed=2))

@@ -39,8 +39,9 @@ from repro.core.maintenance import MaintenanceWorker
 from repro.core.scrub import ScrubWorker
 from repro.engine import ReDeExecutor
 from repro.engine.access import classify_failure
-from repro.errors import (AccessMethodError, SimulationError, StorageError,
-                          StructureCorruptionError, UnknownStructure)
+from repro.errors import (AccessMethodError, JobDefinitionError,
+                          StorageError, StructureCorruptionError,
+                          UnknownStructure)
 from repro.plan import ACCESS_INDEX, ACCESS_SCAN, StagePlanner
 from repro.queries import TpchWorkload
 from repro.storage import DistributedFileSystem
@@ -269,11 +270,11 @@ class TestPageCorruptionFaults:
                 for pid in range(n)]
 
     def test_validation(self):
-        with pytest.raises(SimulationError):
+        with pytest.raises(JobDefinitionError):
             PageCorruption("idx", 1.5)
-        with pytest.raises(SimulationError):
+        with pytest.raises(JobDefinitionError):
             PageCorruption("", 0.1)
-        with pytest.raises(SimulationError):
+        with pytest.raises(JobDefinitionError):
             self.corrupt_cluster(node=9)  # unknown node
         plan = FaultPlan(page_corruptions=[PageCorruption("idx", 0.1)])
         assert isinstance(plan.page_corruptions, tuple)
