@@ -76,6 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--batch-size", type=int, default=1,
                       help="dereference batch size for execution "
                            "(default 1 = per-record dispatch)")
+    plan.add_argument("--adaptive", type=float, default=None,
+                      metavar="THRESHOLD",
+                      help="enable runtime re-optimization: a stage whose "
+                           "observed cardinality exceeds its estimate by "
+                           "this factor re-prices the remaining stages "
+                           "and may switch them to scan-backed access "
+                           "mid-query (default off)")
 
     chaos = commands.add_parser(
         "chaos",
@@ -162,6 +169,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--batch-size", type=int, default=1,
                        help="dereference batch size for the serving "
                             "engine (default 1 = per-record dispatch)")
+    serve.add_argument("--result-cache-mb", type=float, default=0.0,
+                       help="semantic result-cache budget in MB; repeated "
+                            "(and subsumed) queries are served instantly "
+                            "from cached results until an ingest commit "
+                            "or compaction invalidates them (default 0 = "
+                            "no cache)")
 
     ingest = commands.add_parser(
         "ingest",
@@ -448,7 +461,8 @@ def cmd_scrub(scale: float, nodes: int, seed: int, corruption: float,
 
 
 def cmd_plan(scale: float, nodes: int, selectivity: float,
-             execute: bool, batch_size: int = 1) -> int:
+             execute: bool, batch_size: int = 1,
+             adaptive: Optional[float] = None) -> int:
     """Print the per-stage planner's decision table for Q5′."""
     from repro.config import EngineConfig
     from repro.engine import PlanningExecutor
@@ -458,7 +472,8 @@ def cmd_plan(scale: float, nodes: int, selectivity: float,
     spec = workload.make_cluster(scan_seconds=0.25).spec
     executor = PlanningExecutor(workload.catalog, workload.blockstore,
                                 spec,
-                                config=EngineConfig(batch_size=batch_size))
+                                config=EngineConfig(batch_size=batch_size),
+                                adaptive_threshold=adaptive)
     low, high = workload.date_range(selectivity)
     logical = workload.q5_chain(low, high).logical_plan()
     planned = executor.plan(logical)
@@ -470,12 +485,24 @@ def cmd_plan(scale: float, nodes: int, selectivity: float,
         print(f"executed {result.executed} plan: {len(result.rows)} rows "
               f"in {result.elapsed_seconds * 1e3:.1f} simulated ms "
               f"({result.record_accesses} record accesses)")
+        if result.adaptive is not None:
+            switches = result.adaptive.switches
+            if switches:
+                print(f"adaptive re-optimization "
+                      f"(threshold {adaptive:g}x):")
+                for event in switches:
+                    print(f"  {event.describe()}")
+            else:
+                print(f"adaptive re-optimization armed "
+                      f"(threshold {adaptive:g}x): no stage exceeded "
+                      f"its estimate — static plan ran unchanged")
     return 0
 
 
 def cmd_serve(rate: float, duration: float, nodes: int, tenants: int,
               slots: int, queue_limit: int, deadline: Optional[float],
-              seed: int, maintenance: bool, batch_size: int = 1) -> int:
+              seed: int, maintenance: bool, batch_size: int = 1,
+              result_cache_mb: float = 0.0) -> int:
     """Open-loop Poisson traffic through the query gateway."""
     import random
 
@@ -490,6 +517,7 @@ def cmd_serve(rate: float, duration: float, nodes: int, tenants: int,
     )
     from repro.core.maintenance import MaintenanceWorker
     from repro.service import QueryGateway, TenantSpec, background_build
+    from repro.service.result_cache import SemanticResultCache
     from repro.storage import DistributedFileSystem
 
     interp = MappingInterpreter()
@@ -508,10 +536,15 @@ def cmd_serve(rate: float, duration: float, nodes: int, tenants: int,
         key_field="event_id", scope="global"))
 
     cluster = Cluster(laptop_cluster_spec(nodes))
+    cache = None
+    if result_cache_mb > 0:
+        cache = SemanticResultCache(
+            budget_bytes=int(result_cache_mb * (1 << 20)))
     gateway = QueryGateway(cluster, catalog,
                            EngineConfig(batch_size=batch_size),
                            max_concurrent=slots,
-                           global_queue_limit=queue_limit)
+                           global_queue_limit=queue_limit,
+                           result_cache=cache)
     sim = cluster.sim
     tickets = []
 
@@ -570,6 +603,14 @@ def cmd_serve(rate: float, duration: float, nodes: int, tenants: int,
     table.add_note("decisions: " + ", ".join(
         f"{k}={v}" for k, v in sorted(actions.items())))
     print(table.render())
+    if cache is not None:
+        stats = cache.stats()
+        print(f"result cache ({result_cache_mb:g} MB budget): "
+              f"{stats['hits']} hits, {stats['subsumed_hits']} subsumed, "
+              f"{stats['misses']} misses, {stats['insertions']} inserted, "
+              f"{stats['evictions']} evicted, "
+              f"{stats['invalidations']} invalidated, "
+              f"{stats['used_bytes']} bytes used")
     if maintenance:
         print(f"idx_event state after serving: "
               f"{catalog.state('idx_event').name}")
@@ -734,7 +775,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_inventory()
     if args.command == "plan":
         return cmd_plan(args.scale, args.nodes, args.selectivity,
-                        args.execute, args.batch_size)
+                        args.execute, args.batch_size, args.adaptive)
     if args.command == "chaos":
         return cmd_chaos(args.scale, args.nodes, args.seed, args.rate,
                          args.drop_rate, args.policy, args.max_retries,
@@ -747,7 +788,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_serve(args.rate, args.duration, args.nodes,
                          args.tenants, args.slots, args.queue_limit,
                          args.deadline, args.seed, args.maintenance,
-                         args.batch_size)
+                         args.batch_size, args.result_cache_mb)
     if args.command == "ingest":
         return cmd_ingest(args.duration, args.nodes, args.sensors,
                           args.batch_size, args.batch_rate,

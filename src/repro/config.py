@@ -15,7 +15,8 @@ referencers executed inline (no thread switch) by default.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any, Optional
 
 from repro.cluster.cluster import ClusterSpec
 from repro.cluster.disk import DiskSpec
@@ -152,6 +153,12 @@ class EngineConfig:
             ``batch_fill``) at the cost of added dispatch latency;
             results are identical either way, and the knob is inert at
             ``batch_size=1`` (nothing ever buffers).
+        feedback: optional runtime-feedback sink.  When set, the access
+            funnel reports each dereference's post-filter record count
+            via ``feedback.observe(stage, count)`` as it completes — the
+            hook the adaptive re-optimizer (:mod:`repro.plan.feedback`)
+            listens on.  ``None`` (the default) keeps every engine path
+            bit-identical to a feedback-free run.
     """
 
     thread_pool_size: int = 1000
@@ -170,6 +177,7 @@ class EngineConfig:
     cache_hit_time: float = 25e-6
     batch_size: int = 1
     batch_linger: float = 0.0
+    feedback: Optional[Any] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.on_error not in ("fail", "retry", "skip"):

@@ -168,6 +168,14 @@ class StructureCatalog:
         #: ``cluster.invalidate_cached_file`` by whoever owns a cluster);
         #: ``None`` outside clustered runs
         self.cache_invalidator: Optional[Callable[[str], None]] = None
+        #: hooks dropping *semantic* cached results (stage tables, query
+        #: answers) of a structure — fan-out targets of
+        #: :meth:`invalidate_results`; empty outside cached serving
+        self.result_invalidators: list[Callable[[str], None]] = []
+        #: monotone data-plane mutation counter: bumped whenever the
+        #: lake's contents or structure set change, so planners can key
+        #: memoized statistics/calibrations on it
+        self.version = 0
         #: the streaming-ingest delta ledger (``repro.ingest.delta.
         #: DeltaRegistry``); ``None`` on load-once lakes, which keeps
         #: every delta-aware code path a strict no-op
@@ -181,6 +189,7 @@ class StructureCatalog:
                       num_partitions: Optional[int] = None
                       ) -> PartitionedFile:
         """Load a raw file into the lake (no schema, no structures)."""
+        self.version += 1
         return self.dfs.load(name, records, partition_key_fn,
                              key_fn=key_fn, num_partitions=num_partitions)
 
@@ -198,6 +207,7 @@ class StructureCatalog:
                 f"{definition.base_file!r}")
         self._definitions[definition.name] = definition
         self._states[definition.name] = StructureState.REGISTERED
+        self.version += 1
         logger.info("registered access method %r on %r (scope=%s, lazy)",
                     definition.name, definition.base_file,
                     definition.scope)
@@ -240,6 +250,7 @@ class StructureCatalog:
         if self.state(name) is not StructureState.READY:
             return
         self._states[name] = StructureState.DEGRADED
+        self.version += 1
         logger.warning("structure %r demoted to degraded", name)
 
     def quarantine(self, name: str) -> None:
@@ -251,6 +262,7 @@ class StructureCatalog:
             raise UnknownStructure(
                 f"cannot quarantine unmaterialized structure {name!r}")
         self._states[name] = StructureState.QUARANTINED
+        self.version += 1
         logger.warning("structure %r quarantined", name)
 
     # -- checkpointed builds ---------------------------------------------
@@ -325,6 +337,7 @@ class StructureCatalog:
         index = self._build(definition)
         self._states[name] = StructureState.READY
         self._checkpoints.pop(name, None)
+        self.version += 1
         self.build_log.append(name)
         self._backfill_deltas(definition, index)
         logger.info("built %s index %r on %r (%d entries)",
@@ -510,9 +523,32 @@ class StructureCatalog:
                 if self._definitions[name].base_file == file_name]
 
     def invalidate_cached(self, file_name: str) -> None:
-        """Drop a structure's cached pages, if a cluster hook is wired."""
+        """Drop a structure's cached pages, if a cluster hook is wired.
+
+        Physical page invalidation implies semantic invalidation too:
+        any cached stage table or query answer derived from the
+        structure is stale for the same reason its pages are.
+        """
         if self.cache_invalidator is not None:
             self.cache_invalidator(file_name)
+        self.invalidate_results(file_name)
+
+    def register_result_invalidator(self,
+                                    hook: Callable[[str], None]) -> None:
+        """Subscribe a semantic-cache invalidation hook (idempotent)."""
+        if hook not in self.result_invalidators:
+            self.result_invalidators.append(hook)
+
+    def invalidate_results(self, file_name: str) -> None:
+        """Drop semantic cached results over ``file_name``.
+
+        Unlike :meth:`invalidate_cached` this does *not* touch buffer
+        pools — an ingest commit leaves heap/tree pages valid (deltas
+        live beside them) but makes every derived result stale.
+        """
+        self.version += 1
+        for hook in self.result_invalidators:
+            hook(file_name)
 
     # -- streaming deltas (see repro.ingest) -----------------------------
 

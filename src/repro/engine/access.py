@@ -287,6 +287,14 @@ def _scan_stage_build(cluster: Cluster, metrics: ExecutionMetrics,
     if event is not None and state.get("token") == token:
         yield event
         return
+    if dereferencer.adopt_cached(file):
+        # A previous job already paid for this exact table (same file,
+        # same unmerged-run set) and published it to the attached result
+        # cache: adopt it — no scan, no build CPU, no shipping.
+        metrics.scan_table_cache_hits += 1
+        state["token"] = token
+        state["ready"] = True
+        return
     state["token"] = token
     state["ready"] = False
     event = cluster.sim.event()
@@ -322,6 +330,7 @@ def _scan_stage_build(cluster: Cluster, metrics: ExecutionMetrics,
     dereferencer.table_for(file)
     metrics.scan_stage_builds += 1
     metrics.scan_stage_bytes += file.total_bytes + delta_total
+    dereferencer.publish_table(file, file.total_bytes + delta_total)
     state["ready"] = True
     event.succeed()
 
@@ -779,6 +788,34 @@ def recovering_dereference(cluster: Cluster, config: EngineConfig,
                            runtime: Optional[dict] = None,
                            abort_check: Optional[Callable[[], bool]] = None
                            ) -> Iterator:
+    """The per-record access funnel, plus runtime-feedback reporting.
+
+    Delegates to :func:`_recovering_dereference_impl` (the corruption-
+    aware fetch) and, when ``config.feedback`` carries a
+    :class:`~repro.plan.feedback.RuntimeFeedback`, reports the stage's
+    post-filter output count — the observed cardinality adaptive
+    re-optimization corrects estimates with.  ``feedback=None`` (the
+    default config) is a pure passthrough.
+    """
+    records = yield from _recovering_dereference_impl(
+        cluster, config, metrics, stage, dereferencer, file, target,
+        partition_id, executing_node, context, catalog=catalog,
+        failures=failures, runtime=runtime, abort_check=abort_check)
+    if config.feedback is not None:
+        config.feedback.observe(stage, len(records))
+    return records
+
+
+def _recovering_dereference_impl(
+        cluster: Cluster, config: EngineConfig,
+        metrics: ExecutionMetrics, stage: int,
+        dereferencer: Dereferencer, file: File,
+        target: Target, partition_id: int,
+        executing_node: int, context: Any, *,
+        catalog: Optional["StructureCatalog"] = None,
+        failures: Optional[FailureReport] = None,
+        runtime: Optional[dict] = None,
+        abort_check: Optional[Callable[[], bool]] = None) -> Iterator:
     """Corruption-aware wrapper over :func:`resilient_dereference`.
 
     With no catalog/recovery state supplied — or no corruption injected
@@ -864,16 +901,21 @@ def count_only_dereference(metrics: ExecutionMetrics, stage: int,
                            dereferencer: Dereferencer, file: File,
                            target: Target, partition_id: int,
                            context: Any, *,
-                           catalog: Optional["StructureCatalog"] = None
+                           catalog: Optional["StructureCatalog"] = None,
+                           feedback: Optional[Any] = None
                            ) -> list[Record]:
     """The same fetch without a cluster: counts accesses, charges no time.
 
     Used by the in-memory reference executor (the correctness oracle and
     the record-access counter behind Figure 9).  With a catalog given,
     probes are delta-aware exactly like the cluster engines', so the
-    oracle stays an oracle on a streaming lake.
+    oracle stays an oracle on a streaming lake.  ``feedback`` mirrors
+    ``EngineConfig.feedback``: post-filter output counts are reported so
+    adaptive runs behave identically on the reference path.
     """
     if isinstance(dereferencer, ScanLookupDereferencer):
+        if dereferencer.adopt_cached(file):
+            metrics.scan_table_cache_hits += 1
         first_probe = not dereferencer.has_table(file)
         records = dereferencer.fetch(file, target, partition_id)
         if first_probe:
@@ -881,8 +923,12 @@ def count_only_dereference(metrics: ExecutionMetrics, stage: int,
                 file, list(range(file.num_partitions)))
             metrics.scan_stage_builds += 1
             metrics.scan_stage_bytes += file.total_bytes + delta_bytes
+            dereferencer.publish_table(file, file.total_bytes + delta_bytes)
         metrics.count_fetch(stage, len(records), False, 0)
-        return dereferencer.apply_filter(records, context)
+        records = dereferencer.apply_filter(records, context)
+        if feedback is not None:
+            feedback.observe(stage, len(records))
+        return records
     records = dereferencer.fetch(file, target, partition_id)
     reads = _fetch_cost_reads(file, records, _REFERENCE_PAGE_SIZE)
     metrics.count_fetch(stage, len(records), isinstance(file, BtreeFile),
@@ -893,6 +939,8 @@ def count_only_dereference(metrics: ExecutionMetrics, stage: int,
         records, __ = _merge_deltas(
             metrics, dereferencer, file, target, partition_id, context,
             catalog.delta_runs(file.name), records)
+    if feedback is not None:
+        feedback.observe(stage, len(records))
     return records
 
 
@@ -1191,7 +1239,32 @@ def recovering_dereference_batch(cluster: Cluster, config: EngineConfig,
     batch.  Under active corruption or against a sick structure the
     batch degrades to per-probe :func:`recovering_dereference` calls, so
     the quarantine protocol stays single-sourced (batching buys nothing
-    on a path whose cost is dominated by the recovery scan anyway)."""
+    on a path whose cost is dominated by the recovery scan anyway).
+
+    Like the per-record funnel, reports the batch's total post-filter
+    output into ``config.feedback`` when one is attached; the degraded
+    path calls the per-record *impl* so each record is observed exactly
+    once, here."""
+    outputs = yield from _recovering_dereference_batch_impl(
+        cluster, config, metrics, stage, dereferencer, file, probes,
+        partition_id, executing_node, catalog=catalog, failures=failures,
+        runtime=runtime, abort_check=abort_check)
+    if config.feedback is not None:
+        config.feedback.observe(
+            stage, sum(len(records) for records in outputs))
+    return outputs
+
+
+def _recovering_dereference_batch_impl(
+        cluster: Cluster, config: EngineConfig,
+        metrics: ExecutionMetrics, stage: int,
+        dereferencer: Dereferencer, file: File,
+        probes: Sequence[Probe], partition_id: int,
+        executing_node: int, *,
+        catalog: Optional["StructureCatalog"] = None,
+        failures: Optional[FailureReport] = None,
+        runtime: Optional[dict] = None,
+        abort_check: Optional[Callable[[], bool]] = None) -> Iterator:
     injector = cluster.faults
     corrupting = injector is not None and injector.has_corruption
     sick = (catalog is not None and isinstance(file, BtreeFile)
@@ -1201,7 +1274,7 @@ def recovering_dereference_batch(cluster: Cluster, config: EngineConfig,
             and not isinstance(dereferencer, ScanLookupDereferencer)):
         outputs = []
         for target, context in probes:
-            records = yield from recovering_dereference(
+            records = yield from _recovering_dereference_impl(
                 cluster, config, metrics, stage, dereferencer, file,
                 target, partition_id, executing_node, context,
                 catalog=catalog, failures=failures, runtime=runtime,
@@ -1225,11 +1298,14 @@ def count_only_dereference_batch(metrics: ExecutionMetrics, stage: int,
                                  partition_id: int, *,
                                  catalog: Optional["StructureCatalog"]
                                  = None,
-                                 capacity: int = 0) -> list:
+                                 capacity: int = 0,
+                                 feedback: Optional[Any] = None) -> list:
     """Batched counterpart of :func:`count_only_dereference` (the
     simulation-free reference path): same fetches, batch-amortized read
     accounting, no simulated time."""
     if isinstance(dereferencer, ScanLookupDereferencer):
+        if dereferencer.adopt_cached(file):
+            metrics.scan_table_cache_hits += 1
         first_probe = not dereferencer.has_table(file)
         fetched = [dereferencer.fetch(file, target, partition_id)
                    for target, __ in probes]
@@ -1238,11 +1314,16 @@ def count_only_dereference_batch(metrics: ExecutionMetrics, stage: int,
                 file, list(range(file.num_partitions)))
             metrics.scan_stage_builds += 1
             metrics.scan_stage_bytes += file.total_bytes + delta_bytes
+            dereferencer.publish_table(file, file.total_bytes + delta_bytes)
         total_records = sum(len(records) for records in fetched)
         metrics.count_fetch(stage, total_records, False, 0)
         metrics.count_batch(len(probes), capacity)
-        return [dereferencer.apply_filter(records, context)
-                for records, (__, context) in zip(fetched, probes)]
+        outputs = [dereferencer.apply_filter(records, context)
+                   for records, (__, context) in zip(fetched, probes)]
+        if feedback is not None:
+            feedback.observe(
+                stage, sum(len(records) for records in outputs))
+        return outputs
     fetched = [dereferencer.fetch(file, target, partition_id)
                for target, __ in probes]
     all_records = [r for records in fetched for r in records]
@@ -1259,4 +1340,6 @@ def count_only_dereference_batch(metrics: ExecutionMetrics, stage: int,
             _merge_deltas(metrics, dereferencer, file, target,
                           partition_id, context, runs, records)[0]
             for (target, context), records in zip(probes, outputs)]
+    if feedback is not None:
+        feedback.observe(stage, sum(len(records) for records in outputs))
     return outputs

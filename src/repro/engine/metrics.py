@@ -85,6 +85,12 @@ class ExecutionMetrics:
     #: placement epoch the job was routed under at submission (None on
     #: static clusters — only set when a TopologyController is attached)
     placement_epoch: Optional[int] = None
+    #: jobs answered entirely from the semantic result cache (tier B);
+    #: set on the fresh metrics a cache-served ticket carries
+    result_cache_hits: int = 0
+    #: scan-backed stage tables adopted from the result cache (tier A)
+    #: instead of being rebuilt — each one is a build charge avoided
+    scan_table_cache_hits: int = 0
     #: batched dereference dispatches (0 on the per-record reference path)
     batches: int = 0
     #: pointers/targets served through batched dispatches
@@ -183,6 +189,12 @@ class ExecutionMetrics:
         }
         if self.placement_epoch is not None:
             out["placement_epoch"] = self.placement_epoch
+        # Cache counters appear only when a result cache served anything,
+        # so cacheless runs keep the exact pre-cache key set.
+        if self.result_cache_hits:
+            out["result_cache_hits"] = self.result_cache_hits
+        if self.scan_table_cache_hits:
+            out["scan_table_cache_hits"] = self.scan_table_cache_hits
         if self.batches:
             out["batches"] = self.batches
             out["batched_probes"] = self.batched_probes

@@ -13,12 +13,25 @@ the winner:
 * ``"scan"`` — hand the degenerate operator tree to the scan baseline.
 
 ``force`` bypasses the decision (benchmarks measure all sides with it).
+
+Planning is memoized on ``(logical signature, lake state)``: repeated
+plans (and calibrations) of the same chain against an unchanged lake
+reuse the previous answer instead of re-scanning the catalog for
+statistics — any data-plane mutation (ingest commit, compaction, build,
+rebalance) bumps the catalog version and drops the memo.
+
+With ``adaptive_threshold`` set, executions attach an
+:class:`~repro.plan.feedback.AdaptiveController` through
+``EngineConfig.feedback``: stages report observed cardinalities as they
+run, and a stage whose output exceeds its estimate by the threshold
+factor re-prices the remaining stages and switches them to scan-backed
+access mid-query.  ``None`` (the default) runs exactly the static plan.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, replace
+from typing import Any, Optional
 
 from repro.baselines.scan_engine import ScanEngine
 from repro.cluster.cluster import Cluster, ClusterSpec
@@ -26,6 +39,7 @@ from repro.config import DEFAULT_ENGINE_CONFIG, EngineConfig
 from repro.core.catalog import StructureCatalog
 from repro.core.job import Job
 from repro.errors import ExecutionError, JobDefinitionError
+from repro.plan.feedback import AdaptiveController, logical_signature
 from repro.plan.logical import LogicalPlan
 from repro.plan.planner import PlannedQuery, StagePlanner, initial_cardinality
 from repro.storage.blockstore import BlockStore
@@ -44,6 +58,9 @@ class PlannedResult:
     rows: list
     elapsed_seconds: float
     record_accesses: int  # 0 for scan-engine executions
+    #: the AdaptiveController of an adaptive run (its observed counts and
+    #: switch events); None for static executions
+    adaptive: Optional[Any] = None
 
 
 class PlanningExecutor:
@@ -55,16 +72,32 @@ class PlanningExecutor:
                  per_match_access_factor: Optional[float] = None,
                  statistics: str = "exact",
                  margin: float = 0.9,
-                 mode: str = "smpe") -> None:
+                 mode: str = "smpe",
+                 adaptive_threshold: Optional[float] = None) -> None:
         self.catalog = catalog
         self.store = store
         self.cluster_spec = cluster_spec
         self.config = config
         self.per_match_access_factor = per_match_access_factor
         self.mode = mode
+        self.adaptive_threshold = adaptive_threshold
         self.planner = StagePlanner(catalog, store, cluster_spec,
                                     config=config, statistics=statistics,
                                     margin=margin)
+        #: oracle runs actually executed by :meth:`calibrate` (memo
+        #: hits don't re-run — the satellite-3 regression contract)
+        self.calibration_runs = 0
+        self._plan_memo: dict[tuple, PlannedQuery] = {}
+        self._calibration_memo: dict[tuple, float] = {}
+
+    def _lake_token(self) -> tuple:
+        """Fingerprint of the lake state the memoized plans are valid
+        for.  The catalog version covers every data-plane mutation
+        (registration, builds, ingest commits, compaction, demotion);
+        the topology epoch covers placement changes."""
+        topology = self.planner.topology
+        epoch = None if topology is None else topology.epoch
+        return (self.catalog.version, epoch)
 
     def calibrate(self, logical: LogicalPlan) -> float:
         """Set the whole-job access factor from one observed reference run.
@@ -74,23 +107,45 @@ class PlanningExecutor:
         job on the simulation-free oracle, measure actual record accesses
         per initial match, and install that factor for the whole-job index
         estimate (per-stage estimates keep their own statistics).
+
+        Calibrating the same chain against an unchanged lake reuses the
+        previous factor without re-running the oracle.
         """
+        key = (logical_signature(logical), self._lake_token())
+        cached = self._calibration_memo.get(key)
+        if cached is not None:
+            self.per_match_access_factor = cached
+            return cached
         from repro.engine.reference import ReferenceExecutor
         from repro.plan.lowering import compile_logical
 
         job = compile_logical(logical, self.catalog).to_job(self.catalog)
         result = ReferenceExecutor(self.catalog).execute(job)
+        self.calibration_runs += 1
         cardinality = max(1.0, float(initial_cardinality(
             self.catalog, job.inputs, self.planner.statistics,
             self.planner._histograms, self.planner.histogram_buckets)))
         self.per_match_access_factor = (result.metrics.record_accesses
                                         / cardinality)
+        self._calibration_memo[key] = self.per_match_access_factor
         return self.per_match_access_factor
 
     def plan(self, logical: LogicalPlan) -> PlannedQuery:
-        """Price every stage and decide mixed vs index vs scan."""
-        return self.planner.plan(
-            logical, per_match_access_factor=self.per_match_access_factor)
+        """Price every stage and decide mixed vs index vs scan.
+
+        Memoized: the same logical signature against the same lake token
+        (and access factor) returns the previously planned query."""
+        token = self._lake_token()
+        self.planner.note_lake_state(token)
+        key = (logical_signature(logical), token,
+               self.per_match_access_factor)
+        planned = self._plan_memo.get(key)
+        if planned is None:
+            planned = self.planner.plan(
+                logical,
+                per_match_access_factor=self.per_match_access_factor)
+            self._plan_memo[key] = planned
+        return planned
 
     def serving_jobs(self, logical: LogicalPlan) -> tuple[Job, Optional[Job]]:
         """Plan ``logical`` for gateway submission: ``(primary, fallback)``.
@@ -133,11 +188,19 @@ class PlanningExecutor:
                                  result.metrics.elapsed_seconds, 0)
         physical = planned.mixed if executed == "mixed" else planned.all_index
         job = physical.to_job(self.catalog)
+        config = self.config
+        controller: Optional[AdaptiveController] = None
+        if self.adaptive_threshold is not None:
+            controller = AdaptiveController(
+                self.planner, physical, job, planned.stage_estimates,
+                threshold=self.adaptive_threshold)
+            config = replace(config, feedback=controller)
         from repro.engine.executor import ReDeExecutor
 
         executor = ReDeExecutor(Cluster(self.cluster_spec), self.catalog,
-                                config=self.config, mode=self.mode)
+                                config=config, mode=self.mode)
         result = executor.execute(job)
         return PlannedResult(planned, executed, result.rows,
                              result.metrics.elapsed_seconds,
-                             result.metrics.record_accesses)
+                             result.metrics.record_accesses,
+                             adaptive=controller)

@@ -41,6 +41,10 @@ class ReferenceExecutor:
         self.catalog = catalog
         self.config = config
 
+    @property
+    def _feedback(self):
+        return None if self.config is None else self.config.feedback
+
     def execute(self, job: Job, limit: Optional[int] = None) -> JobResult:
         batch_size = 1 if self.config is None else self.config.batch_size
         if batch_size > 1:
@@ -61,7 +65,7 @@ class ReferenceExecutor:
                     break
                 records = count_only_dereference(
                     metrics, 0, dereferencer, file, target, pid, {},
-                    catalog=self.catalog)
+                    catalog=self.catalog, feedback=self._feedback)
                 for record in records:
                     self._chain(job, metrics, results, 1, record, {})
         if limit is not None and len(results) > limit:
@@ -127,7 +131,8 @@ class ReferenceExecutor:
                 chunk = probes[i:i + batch_size]
                 outputs = count_only_dereference_batch(
                     metrics, stage, function, file, chunk, pid,
-                    catalog=self.catalog, capacity=batch_size)
+                    catalog=self.catalog, capacity=batch_size,
+                    feedback=self._feedback)
                 for (__, context), records in zip(chunk, outputs):
                     out.extend((record, context) for record in records)
         return out
@@ -167,7 +172,7 @@ class ReferenceExecutor:
         for pid in resolve_partitions(file, payload):
             records = count_only_dereference(
                 metrics, stage, function, file, payload, pid, context,
-                catalog=self.catalog)
+                catalog=self.catalog, feedback=self._feedback)
             for record in records:
                 self._chain(job, metrics, results, stage + 1, record,
                             context)

@@ -193,6 +193,14 @@ class Compactor:
             registry.replace_runs(name, [merge_runs(runs)])
         if folded:
             self.minor_compactions += 1
+            # A fold rewrites the delta runs behind the base *and* every
+            # maintained index over it: any cached page or semantic
+            # result derived from those runs is stale.  Mirror
+            # ``Catalog.insert_record`` — invalidate the base file and
+            # each maintained index, not just the base.
+            self.catalog.invalidate_cached(file_name)
+            for name in self.catalog.maintained_structures(file_name):
+                self.catalog.invalidate_cached(name)
             logger.info("minor compaction folded %d runs over %r",
                         folded, file_name)
 

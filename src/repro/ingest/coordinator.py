@@ -257,6 +257,12 @@ class IngestCoordinator:
                 and micro.event_time <= self.registry.committed_through):
             self.registry.late_records += len(micro)
         self.registry.note_commit(micro.event_time, now)
+        # A commit leaves heap/tree pages untouched (the new records live
+        # in delta runs beside them), so buffer pools stay valid — but
+        # every semantic result derived from these structures is stale.
+        self.catalog.invalidate_results(micro.file_name)
+        for definition in definitions:
+            self.catalog.invalidate_results(definition.name)
         batch.state = StructureState.READY
         batch.commit_time = now
         logger.info("committed batch #%d into %r (%d records, %d runs)",

@@ -158,7 +158,8 @@ def _lower_source(node: SourceNode, scan_backed: bool,
             functions.append(ScanLookupDereferencer(
                 node.base, _loader_keys(catalog, node.base),
                 filter=_fold_filters(node.filters),
-                delta_source=_delta_source(catalog, node.base)))
+                delta_source=_delta_source(catalog, node.base),
+                key_id=(node.base, None)))
             return
         functions.append(FileLookupDereferencer(node.base))
     # Filters attach to the node's last dereferencer (the base fetch when
@@ -179,7 +180,8 @@ def _lower_join(node: JoinNode, scan_backed: bool, interpreter,
         functions.append(ScanLookupDereferencer(
             node.target, _scan_join_keys(catalog, node),
             filter=_fold_filters(node.filters),
-            delta_source=_delta_source(catalog, node.target)))
+            delta_source=_delta_source(catalog, node.target),
+            key_id=(node.target, node.via_index)))
         return
     probe_target = (node.via_index if node.via_index is not None
                     else node.target)

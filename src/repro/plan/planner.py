@@ -35,7 +35,7 @@ from repro.core.interpreters import (
     FieldRangeFilter,
     Filter,
 )
-from repro.core.pointers import Pointer, PointerRange
+from repro.core.pointers import Pointer, PointerKind, PointerRange
 from repro.errors import ExecutionError, JobDefinitionError
 from repro.plan.logical import JoinNode, LogicalPlan, SourceNode
 from repro.plan.lowering import compile_logical, to_scan_plan
@@ -78,6 +78,14 @@ def initial_cardinality(catalog: "StructureCatalog",
     First-class structures make statistics trivial: in ``"exact"`` mode
     the B-tree *is* the statistic; in ``"histogram"`` mode a compact
     equi-depth summary answers instead (cached in ``histograms``).
+
+    Under streaming ingest the built tree alone is freshness-blind:
+    unmerged delta runs hold committed entries the tree has not absorbed
+    (and tombstones that kill entries it still holds), so both modes
+    fold the registry's per-partition delta matches into the count —
+    appends add, tombstoned/superseded entries subtract.  With no runs
+    registered the fold is skipped entirely and the estimate is
+    bit-identical to a static lake's.
     """
     if statistics not in ("exact", "histogram"):
         raise ExecutionError(
@@ -88,6 +96,7 @@ def initial_cardinality(catalog: "StructureCatalog",
         if not isinstance(file, BtreeFile):
             total += 1
             continue
+        runs = catalog.delta_runs(target.file)
         if statistics == "histogram":
             histogram = _histogram_for(catalog, target.file, histograms,
                                        histogram_buckets)
@@ -95,17 +104,61 @@ def initial_cardinality(catalog: "StructureCatalog",
                 total += histogram.estimate_range(target.low, target.high)
             else:
                 total += histogram.estimate_equal(target.key)
+            if runs:
+                for pid in range(file.num_partitions):
+                    total += _delta_adjustment(
+                        runs, target, pid, file.range_lookup(target, pid)
+                        if isinstance(target, PointerRange)
+                        else file.lookup_in_partition(pid, target))
             continue
         if isinstance(target, PointerRange):
             for pid in range(file.num_partitions):
-                total += len(file.range_lookup(target, pid))
+                matches = file.range_lookup(target, pid)
+                total += len(matches)
+                if runs:
+                    total += _delta_adjustment(runs, target, pid, matches)
         elif isinstance(target, Pointer):
             pid = file.partition_of_key(
                 target.partition_key if target.partition_key is not None
                 else target.key)
-            total += len(file.lookup_in_partition(pid, target))
+            matches = file.lookup_in_partition(pid, target)
+            total += len(matches)
+            if runs:
+                total += _delta_adjustment(runs, target, pid, matches)
     # Exact mode counts whole records; histogram mode interpolates.
-    return int(total) if statistics == "exact" else total
+    return int(max(0.0, total)) if statistics == "exact" else max(0.0, total)
+
+
+def _delta_adjustment(runs: list, target: Target, pid: int,
+                      built_matches: Sequence[Any]) -> int:
+    """Net cardinality correction from one partition's unmerged runs.
+
+    Mirrors the engine-side merge (``access._merge_deltas``): live delta
+    additions matching the probe count positive, built-tree entries
+    killed by upsert tombstones count negative.  Pure bookkeeping over
+    in-memory runs — no charged IO.
+    """
+    # Probe helpers are plain data-structure accessors (layering rule 11:
+    # plan, like engine, may use ingest.delta's probe helpers for
+    # freshness-aware statistics); imported lazily to keep the static
+    # planning path import-free of the ingest package.
+    from repro.ingest.delta import probe_delta_runs, tombstone_set
+    from repro.storage.files import (INDEX_KEY_FIELD, TARGET_KEY_FIELD,
+                                     TARGET_KIND_FIELD,
+                                     TARGET_PARTITION_FIELD)
+
+    killed = 0
+    tombstones = tombstone_set(runs, pid)
+    if tombstones:
+        for record in built_matches:
+            data = record.data
+            if (data.get(TARGET_KIND_FIELD) == PointerKind.PHYSICAL.value
+                    and (data.get(INDEX_KEY_FIELD),
+                         data.get(TARGET_PARTITION_FIELD),
+                         data.get(TARGET_KEY_FIELD)) in tombstones):
+                killed += 1
+    additions, __ = probe_delta_runs(runs, pid, target)
+    return len(additions) - killed
 
 
 def _histogram_for(catalog: "StructureCatalog", name: str,
@@ -300,6 +353,22 @@ class StagePlanner:
         self._histograms: dict[str, Any] = {}
         self._distinct_cache: dict[tuple, int] = {}
         self._selectivity_cache: dict[tuple, float] = {}
+        self._stats_token: Optional[tuple] = None
+
+    def note_lake_state(self, token: tuple) -> None:
+        """Invalidate cached statistics when the lake changed.
+
+        ``token`` is any hashable fingerprint of the lake's data-plane
+        state (catalog version, delta runs, placement epoch).  While the
+        token is unchanged the expensive full-scan statistics —
+        histograms, distinct counts, filter selectivities — are reused
+        across plans; a new token drops them all.
+        """
+        if token != self._stats_token:
+            self._histograms.clear()
+            self._distinct_cache.clear()
+            self._selectivity_cache.clear()
+            self._stats_token = token
 
     # -- statistics ------------------------------------------------------
 

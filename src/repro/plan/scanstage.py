@@ -66,10 +66,20 @@ class ScanLookupDereferencer(Dereferencer):
 
     def __init__(self, file_name: str, key_of: KeyExtractor,
                  filter: Optional[Filter] = None,
-                 delta_source: Optional[Callable[[], tuple]] = None) -> None:
+                 delta_source: Optional[Callable[[], tuple]] = None,
+                 key_id: Optional[tuple] = None) -> None:
         super().__init__(file_name, filter)
         self.key_of = key_of
         self.delta_source = delta_source
+        #: value-based identity of the table this stage builds —
+        #: ``(target file, via-index or None)`` — assigned by the
+        #: lowering.  Tables are built *pre-filter* (filters apply at
+        #: fetch), so two stages with the same ``key_id`` build the same
+        #: table and may share it through an attached result cache.
+        self.key_id = key_id
+        #: optional :class:`~repro.service.result_cache.
+        #: SemanticResultCache` handle (tier A); None = no sharing.
+        self.cache: Optional[Any] = None
         self._tables: dict[tuple, dict[Any, list[Record]]] = {}
         #: per-cluster build state, keyed by ``id(cluster)`` — owned by
         #: :func:`repro.engine.access.simulated_dereference`
@@ -98,6 +108,37 @@ class ScanLookupDereferencer(Dereferencer):
                 nbytes += run.partition_bytes(pid)
                 rows += run.partition_len(pid)
         return nbytes, rows
+
+    # -- table sharing (tier A of the semantic result cache) -------------
+
+    def adopt_cached(self, file: File) -> bool:
+        """Take a previously built table from the attached cache.
+
+        Returns True only when a table was actually adopted this call —
+        an already-present local table returns False, so callers can
+        count adoption (and skip the build charge) exactly once.
+        """
+        if self.cache is None or self.key_id is None:
+            return False
+        token = (id(file), self.delta_token())
+        if token in self._tables:
+            return False
+        table = self.cache.get_table(self.key_id, token)
+        if table is None:
+            return False
+        self._tables[token] = table
+        return True
+
+    def publish_table(self, file: File, nbytes: int) -> None:
+        """Offer the freshly built table to the attached cache."""
+        if self.cache is None or self.key_id is None:
+            return
+        token = (id(file), self.delta_token())
+        table = self._tables.get(token)
+        if table is not None:
+            self.cache.put_table(self.key_id, token, table, nbytes,
+                                 structures=[name for name in self.key_id
+                                             if isinstance(name, str)])
 
     # -- the table -------------------------------------------------------
 

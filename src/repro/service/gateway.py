@@ -51,9 +51,11 @@ from repro.core.catalog import StructureCatalog, StructureState
 from repro.core.job import Job
 from repro.core.maintenance import MaintenanceWorker
 from repro.core.scrub import ScrubReport, ScrubWorker
+from repro.engine.access import stamp_watermark
 from repro.engine.metrics import ExecutionMetrics, JobResult
 from repro.engine.smpe import JobHandle, SmpeEngine
 from repro.errors import ExecutionError
+from repro.service.result_cache import SemanticResultCache
 from repro.service.scheduler import LANES, FairScheduler, QueuedRequest
 from repro.service.shedding import OverloadPolicy, ServiceDecision
 from repro.service.tenants import ServiceMetrics, TenantSpec
@@ -125,6 +127,8 @@ class ServiceTicket:
     request: Optional[QueuedRequest] = None
     #: True when the mid-run cancellation came from the deadline watcher
     deadline_hit: bool = field(default=False, repr=False)
+    #: True when the result came straight from the semantic cache
+    served_from_cache: bool = False
 
     @property
     def admitted(self) -> bool:
@@ -153,6 +157,13 @@ class QueryGateway:
             (interactive arrivals first try to shed queued background
             work to make room).
         policy: the overload ladder (degrade / shed thresholds).
+        result_cache: optional :class:`~repro.service.result_cache.
+            SemanticResultCache`; submissions whose job matches a cached
+            (or subsumed) result complete instantly at zero simulated
+            cost, and completed undegraded jobs populate it.  The cache
+            registers with the catalog's result-invalidation fan-out, so
+            ingest commits, compaction, builds and rebalance all drop
+            affected entries.  ``None`` (the default) changes nothing.
     """
 
     def __init__(self, cluster: Cluster, catalog: StructureCatalog,
@@ -160,7 +171,8 @@ class QueryGateway:
                  max_concurrent: int = 4,
                  global_queue_limit: int = 64,
                  policy: Optional[OverloadPolicy] = None,
-                 decision_log_limit: int = 4096) -> None:
+                 decision_log_limit: int = 4096,
+                 result_cache: Optional[SemanticResultCache] = None) -> None:
         if max_concurrent < 1:
             raise ExecutionError(
                 f"max_concurrent must be >= 1, got {max_concurrent}")
@@ -176,6 +188,9 @@ class QueryGateway:
         self.max_concurrent = max_concurrent
         self.global_queue_limit = global_queue_limit
         self.policy = policy if policy is not None else OverloadPolicy()
+        self.result_cache = result_cache
+        if result_cache is not None:
+            result_cache.attach(catalog)
         self.scheduler = FairScheduler()
         self.tenants: dict[str, TenantSpec] = {}
         self.metrics: dict[str, ServiceMetrics] = {}
@@ -245,6 +260,32 @@ class QueryGateway:
             deadline=None if deadline is None else now + deadline,
             job=job, fallback_job=fallback_job, work=work)
 
+        # Admission rung 0: the semantic result cache.  A hit completes
+        # the ticket on the spot — no queue entry, no serving slot, zero
+        # simulated time — with a fresh metrics envelope so tenant
+        # aggregates still reconcile.
+        if job is not None and self.result_cache is not None:
+            rows = self.result_cache.lookup(job, self._cache_token())
+            if rows is not None:
+                tracker.admitted += 1
+                ticket.state = "completed"
+                ticket.served_from_cache = True
+                ticket.dispatched_at = now
+                ticket.finished_at = now
+                metrics = ExecutionMetrics()
+                metrics.result_cache_hits = 1
+                stamp_watermark(metrics, self.catalog)
+                ticket.result = JobResult(list(rows), metrics)
+                tracker.queue_waits.append(0.0)
+                tracker.note_completion(now, now)
+                tracker.merge_engine(metrics)
+                self._decide("cache-hit", ticket, None)
+                ticket.done.succeed()
+                return ticket
+            self.result_cache.prepare_job(job)
+            if fallback_job is not None:
+                self.result_cache.prepare_job(fallback_job)
+
         # Admission rung 1: the tenant's own queue share.
         if self.scheduler.depth(tenant) >= spec.max_queued:
             return self._refuse(ticket, "rejected",
@@ -279,6 +320,14 @@ class QueryGateway:
                 f">= {self.policy.shed_depth}")
         self._kick()
         return ticket
+
+    def _cache_token(self) -> tuple:
+        """Lake-state fingerprint for cache keys: the catalog version
+        (bumped by every data-plane mutation, so it subsumes the
+        freshness watermark) plus the placement epoch."""
+        topology = self.cluster.topology
+        epoch = None if topology is None else topology.epoch
+        return (self.catalog.version, epoch)
 
     def _refuse(self, ticket: ServiceTicket, state: str,
                 reason: str) -> ServiceTicket:
@@ -381,8 +430,25 @@ class QueryGateway:
         else:
             ticket.state = "completed"
             tracker.note_completion(ticket.arrival, now)
+        if (self.result_cache is not None and ticket.job is not None
+                and handle.result is not None):
+            self._cache_finish(ticket, handle.result)
         tracker.merge_engine(handle.result.metrics)
         self._release(ticket)
+
+    def _cache_finish(self, ticket: ServiceTicket,
+                      result: JobResult) -> None:
+        """Populate the cache from a finished job — and always strip the
+        in-flight provenance key so served rows are bit-identical to a
+        cacheless gateway's."""
+        cache = self.result_cache
+        assert cache is not None and ticket.job is not None
+        if (ticket.state == "completed" and result.complete
+                and not ticket.degraded):
+            result.rows[:] = cache.insert(ticket.job, result.rows,
+                                          self._cache_token())
+        else:
+            result.rows[:] = cache.strip_rows(result.rows)
 
     def _watch_work(self, ticket: ServiceTicket, proc: Event):
         yield proc

@@ -127,6 +127,14 @@ class ServiceMetrics:
                 # newest placement any of this tenant's jobs ran under.
                 mine.placement_epoch = max(mine.placement_epoch or 0,
                                            value)
+            elif key == "freshness_watermark":
+                # A watermark is an identifier too: the tenant-level
+                # value is the *stalest* answer any of its jobs served
+                # (min over contributing jobs), never a sum.
+                if value is not None:
+                    mine.freshness_watermark = (
+                        value if mine.freshness_watermark is None
+                        else min(mine.freshness_watermark, value))
             elif isinstance(value, int):
                 setattr(mine, key, getattr(mine, key) + value)
         mine.elapsed_seconds += metrics.elapsed_seconds

@@ -3,7 +3,8 @@
 Covers delta runs (probe semantics, newest-wins, minor merges), the
 delta registry and freshness watermark, arrival sources, the IoT
 workload generator, the clusterless coordinator/compactor paths, and
-the satellite fix making ``insert_record`` invalidate cached pages.
+the satellite fixes making ``insert_record`` and minor compaction
+invalidate cached pages.
 """
 
 import pytest
@@ -495,3 +496,48 @@ class TestInsertRecordInvalidation:
         catalog.insert_record("items", rec(100, color="red"))
         rows, __ = query_color(catalog, "red")
         assert 100 in rows
+
+
+class TestMinorCompactionInvalidation:
+    """Satellite fix: a minor compaction rewrites delta runs under the
+    base *and* every maintained structure — warm buffer-pool pages over
+    any of them are stale after the fold and must drop."""
+
+    def fill(self, catalog):
+        coord = IngestCoordinator(catalog)
+        for b in range(3):
+            coord.flush(coord.stage(MicroBatch(
+                "items", appends=[rec(100 + 2 * b + i, color="gold")
+                                  for i in range(2)],
+                event_time=float(b + 1))))
+
+    def warm(self, cluster, file_name):
+        pool = cluster.node(0).buffer_pool
+        pool.insert(PageId(file_name, 0, "heap", 0), 100)
+        return pool
+
+    def test_minor_fold_drops_base_and_index_pages(self):
+        from repro.config import laptop_cluster_spec
+        catalog = make_lake()
+        self.fill(catalog)
+        cluster = Cluster(laptop_cluster_spec(2, cache_bytes=1 << 20))
+        MaintenanceWorker(catalog, cluster)  # wires the invalidator
+        base_pool = self.warm(cluster, "items")
+        index_pool = self.warm(cluster, "idx_color")
+        assert len(base_pool) == 2
+        Compactor(catalog).compact("items", "minor")
+        assert len(base_pool) == 0
+        assert len(index_pool) == 0
+
+    def test_answers_stay_correct_with_warm_pool(self):
+        from repro.config import laptop_cluster_spec
+        catalog = make_lake()
+        self.fill(catalog)
+        cluster = Cluster(laptop_cluster_spec(2, cache_bytes=1 << 20))
+        MaintenanceWorker(catalog, cluster)
+        self.warm(cluster, "items")
+        self.warm(cluster, "idx_color")
+        before, __ = query_color(catalog, "gold")
+        Compactor(catalog).compact("items", "minor")
+        after, __ = query_color(catalog, "gold")
+        assert after == before == sorted(range(100, 106))

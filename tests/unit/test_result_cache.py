@@ -1,0 +1,259 @@
+"""Unit tests for the semantic result cache and its gateway wiring.
+
+Covers canonical job signatures, exact and subsumed serving, the shared
+byte-budget LRU, tier-A scan-table reuse across different jobs, and the
+invalidation paths: ingest commits and compaction must drop affected
+entries, and a caching gateway must serve rows bit-identical to a
+cacheless one.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.core import (
+    AccessMethodDefinition,
+    ChainQuery,
+    MappingInterpreter,
+    Record,
+    StructureCatalog,
+)
+from repro.ingest import Compactor, IngestCoordinator, MicroBatch
+from repro.plan import ACCESS_INDEX, ACCESS_SCAN, compile_logical
+from repro.service import QueryGateway, TenantSpec
+from repro.service.result_cache import PROVENANCE_KEY, SemanticResultCache
+from repro.storage import DistributedFileSystem
+
+INTERP = MappingInterpreter()
+NUM_NODES = 2
+
+
+def make_catalog():
+    dfs = DistributedFileSystem(num_nodes=NUM_NODES)
+    catalog = StructureCatalog(dfs)
+    records = [Record({"pk": i, "attr": i % 50, "grp": i % 5})
+               for i in range(1000)]
+    catalog.register_file("t", records, lambda r: r["pk"])
+    catalog.register_file("dim", [Record({"grp": g, "label": g * 11})
+                                  for g in range(5)],
+                          lambda r: r["grp"])
+    catalog.register_access_method(AccessMethodDefinition(
+        "idx_attr", "t", interpreter=INTERP, key_field="attr",
+        scope="global"))
+    catalog.build_all()
+    return catalog
+
+
+def range_job(low, high):
+    return (ChainQuery(f"r{low}-{high}", interpreter=INTERP)
+            .from_index_range("idx_attr", low, high, base="t")
+            .build())
+
+
+def make_gateway(catalog, budget=8 << 20):
+    cluster = Cluster(ClusterSpec(num_nodes=NUM_NODES))
+    cache = None if budget is None else SemanticResultCache(budget)
+    gateway = QueryGateway(cluster, catalog, result_cache=cache)
+    gateway.register(TenantSpec("t0"))
+    return cluster, gateway, cache
+
+
+def serve(cluster, gateway, job):
+    ticket = gateway.submit("t0", job)
+    if not ticket.finished:
+        cluster.run_until(ticket.done)
+    assert ticket.state == "completed"
+    return ticket
+
+
+def row_values(ticket):
+    return [(row.record.data, dict(row.context))
+            for row in ticket.result.rows]
+
+
+def row_set(ticket):
+    """Order-insensitive view: engine output order depends on simulated
+    task timing, so anything that changes timing (tier-A adoption) or
+    replays another run's order (subsumed serving) matches on the set."""
+    return sorted((sorted(row.record.data.items()),
+                   sorted(row.context.items()))
+                  for row in ticket.result.rows)
+
+
+class TestExactServing:
+    def test_repeat_query_served_instantly_and_identically(self):
+        catalog = make_catalog()
+        cluster, gateway, cache = make_gateway(catalog)
+        first = serve(cluster, gateway, range_job(3, 7))
+        second = serve(cluster, gateway, range_job(3, 7))
+        assert not first.served_from_cache
+        assert second.served_from_cache
+        assert second.latency == 0.0
+        assert second.result.metrics.result_cache_hits == 1
+        assert row_values(second) == row_values(first)
+        assert cache.hits == 1 and cache.insertions == 1
+
+    def test_cached_rows_bit_identical_to_cacheless_gateway(self):
+        catalog = make_catalog()
+        plain_cluster, plain_gateway, __ = make_gateway(catalog,
+                                                        budget=None)
+        plain = serve(plain_cluster, plain_gateway, range_job(3, 7))
+        cluster, gateway, __ = make_gateway(catalog)
+        first = serve(cluster, gateway, range_job(3, 7))
+        hit = serve(cluster, gateway, range_job(3, 7))
+        assert row_values(first) == row_values(plain)
+        assert row_values(hit) == row_values(plain)
+        # the instrumented first run costs exactly what a cacheless one does
+        assert (first.result.metrics.summary()
+                == plain.result.metrics.summary())
+
+    def test_no_provenance_key_ever_escapes(self):
+        catalog = make_catalog()
+        cluster, gateway, __ = make_gateway(catalog)
+        for __unused in range(2):
+            ticket = serve(cluster, gateway, range_job(0, 9))
+            assert all(PROVENANCE_KEY not in row.context
+                       for row in ticket.result.rows)
+
+    def test_different_ranges_are_different_entries(self):
+        catalog = make_catalog()
+        cluster, gateway, cache = make_gateway(catalog)
+        serve(cluster, gateway, range_job(0, 4))
+        ticket = serve(cluster, gateway, range_job(10, 14))
+        assert not ticket.served_from_cache
+        assert cache.insertions == 2
+
+
+class TestSubsumedServing:
+    def test_tighter_range_served_from_wider_entry(self):
+        catalog = make_catalog()
+        cluster, gateway, cache = make_gateway(catalog)
+        serve(cluster, gateway, range_job(0, 9))
+        sub = serve(cluster, gateway, range_job(2, 5))
+        assert sub.served_from_cache
+        assert cache.subsumed_hits == 1
+        # pin correctness against an uncached gateway's answer
+        plain_cluster, plain_gateway, __ = make_gateway(catalog,
+                                                        budget=None)
+        plain = serve(plain_cluster, plain_gateway, range_job(2, 5))
+        assert row_set(sub) == row_set(plain)
+
+    def test_wider_range_is_not_subsumed(self):
+        catalog = make_catalog()
+        cluster, gateway, cache = make_gateway(catalog)
+        serve(cluster, gateway, range_job(2, 5))
+        wide = serve(cluster, gateway, range_job(0, 9))
+        assert not wide.served_from_cache
+        assert cache.subsumed_hits == 0
+
+
+class TestInvalidation:
+    def test_ingest_commit_drops_affected_entries(self):
+        catalog = make_catalog()
+        cluster, gateway, cache = make_gateway(catalog)
+        serve(cluster, gateway, range_job(3, 7))
+        coordinator = IngestCoordinator(catalog)
+        coordinator.flush(coordinator.stage(MicroBatch(
+            "t", appends=[Record({"pk": 5000 + i, "attr": 5, "grp": 0})
+                          for i in range(4)],
+            event_time=1.0)))
+        assert cache.invalidations > 0
+        fresh = serve(cluster, gateway, range_job(3, 7))
+        assert not fresh.served_from_cache
+        assert {row.record["pk"] for row in fresh.result.rows} \
+            >= {5000, 5001, 5002, 5003}
+
+    def test_major_compaction_drops_affected_entries(self):
+        catalog = make_catalog()
+        cluster, gateway, cache = make_gateway(catalog)
+        coordinator = IngestCoordinator(catalog)
+        coordinator.flush(coordinator.stage(MicroBatch(
+            "t", appends=[Record({"pk": 6000, "attr": 6, "grp": 0})],
+            event_time=1.0)))
+        hit_before = serve(cluster, gateway, range_job(3, 7))
+        cache_state = (cache.hits, cache.subsumed_hits)
+        Compactor(catalog).compact("t", "major")
+        after = serve(cluster, gateway, range_job(3, 7))
+        assert not after.served_from_cache
+        assert (cache.hits, cache.subsumed_hits) == cache_state
+        # same answer set; the fold legitimately reorders delta rows
+        assert row_set(after) == row_set(hit_before)
+
+    def test_unrelated_structure_entries_survive(self):
+        catalog = make_catalog()
+        cluster, gateway, cache = make_gateway(catalog)
+        serve(cluster, gateway, range_job(3, 7))
+        catalog.invalidate_results("dim")
+        # the catalog version moved, so the token changed: the old entry
+        # is unreachable even though "dim" never touched this job
+        ticket = serve(cluster, gateway, range_job(3, 7))
+        assert not ticket.served_from_cache
+
+
+class TestBudgetAndEviction:
+    def test_lru_evicts_oldest_under_pressure(self):
+        cache = SemanticResultCache(budget_bytes=1000)
+        cache.put_table(("a", None), ("tok",), {"k": []}, 600, ["a"])
+        cache.put_table(("b", None), ("tok",), {"k": []}, 600, ["b"])
+        assert cache.evictions == 1
+        assert cache.get_table(("a", None), ("tok",)) is None
+        assert cache.get_table(("b", None), ("tok",)) is not None
+
+    def test_touch_refreshes_lru_order(self):
+        cache = SemanticResultCache(budget_bytes=1200)
+        cache.put_table(("a", None), ("tok",), {"k": []}, 500, ["a"])
+        cache.put_table(("b", None), ("tok",), {"k": []}, 500, ["b"])
+        assert cache.get_table(("a", None), ("tok",)) is not None
+        cache.put_table(("c", None), ("tok",), {"k": []}, 500, ["c"])
+        # b was least recently used
+        assert cache.get_table(("b", None), ("tok",)) is None
+        assert cache.get_table(("a", None), ("tok",)) is not None
+
+    def test_oversized_entry_is_refused(self):
+        cache = SemanticResultCache(budget_bytes=100)
+        cache.put_table(("a", None), ("tok",), {"k": []}, 500, ["a"])
+        assert len(cache) == 0
+
+    def test_zero_budget_is_inert(self):
+        catalog = make_catalog()
+        cluster, gateway, cache = make_gateway(catalog, budget=0)
+        first = serve(cluster, gateway, range_job(3, 7))
+        second = serve(cluster, gateway, range_job(3, 7))
+        assert not second.served_from_cache
+        assert cache.insertions == 0 and len(cache) == 0
+        assert row_values(second) == row_values(first)
+
+
+class TestScanTableTier:
+    def make_scan_job(self, catalog, low, high):
+        logical = (ChainQuery(f"s{low}", interpreter=INTERP)
+                   .from_index_range("idx_attr", low, high, base="t")
+                   .join("dim", key="grp")
+                   .logical_plan())
+        physical = compile_logical(logical, catalog,
+                                   [ACCESS_INDEX, ACCESS_SCAN])
+        return physical.to_job(catalog)
+
+    def test_different_jobs_share_the_scan_table(self):
+        catalog = make_catalog()
+        cluster, gateway, cache = make_gateway(catalog)
+        first = serve(cluster, gateway, self.make_scan_job(catalog, 0, 4))
+        second = serve(cluster, gateway,
+                       self.make_scan_job(catalog, 20, 24))
+        assert not second.served_from_cache  # different range: tier B miss
+        assert first.result.metrics.scan_table_cache_hits == 0
+        assert second.result.metrics.scan_table_cache_hits == 1
+        assert cache.table_insertions >= 1 and cache.table_hits == 1
+        # adopting the table skips the build IO entirely
+        assert (second.result.metrics.scan_stage_bytes
+                < first.result.metrics.scan_stage_bytes)
+
+    def test_adopted_table_answers_correctly(self):
+        catalog = make_catalog()
+        cluster, gateway, __ = make_gateway(catalog)
+        serve(cluster, gateway, self.make_scan_job(catalog, 0, 4))
+        warm = serve(cluster, gateway, self.make_scan_job(catalog, 20, 24))
+        plain_cluster, plain_gateway, __ = make_gateway(catalog,
+                                                        budget=None)
+        plain = serve(plain_cluster, plain_gateway,
+                      self.make_scan_job(catalog, 20, 24))
+        assert row_set(warm) == row_set(plain)

@@ -94,6 +94,20 @@ class TestServiceMetrics:
         assert m.engine.record_accesses == 20
         assert m.engine.elapsed_seconds == pytest.approx(1.0)
 
+    def test_merge_engine_keeps_stalest_watermark(self):
+        """Satellite fix: a watermark is an identifier, not a counter —
+        the tenant-level value is the min over jobs, never a sum."""
+        m = ServiceMetrics(tenant="t")
+        fresh, stale = ExecutionMetrics(), ExecutionMetrics()
+        fresh.freshness_watermark = 7.0
+        stale.freshness_watermark = 3.0
+        m.merge_engine(fresh)
+        assert m.engine.freshness_watermark == 7.0
+        m.merge_engine(stale)
+        assert m.engine.freshness_watermark == 3.0
+        m.merge_engine(fresh)  # a fresher later job never raises it
+        assert m.engine.freshness_watermark == 3.0
+
 
 class TestFairSchedulerLanes:
     def test_interactive_preempts_background_in_queue(self):
